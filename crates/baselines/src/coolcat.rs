@@ -1,0 +1,295 @@
+//! COOLCAT (Barbará, Li & Couto 2002): incremental entropy-based categorical
+//! clustering — the representative of the entropy-based stream the paper's
+//! related-work section discusses ([27]–[31]).
+//!
+//! Objects are placed one at a time into the cluster whose *expected entropy*
+//! grows least. A sample-based bootstrap picks the k mutually most dissimilar
+//! objects as cluster founders, and a re-clustering sweep reconsiders the
+//! worst-fitting fraction of objects at the end, as in the original system.
+
+use categorical_data::{CategoricalTable, MISSING};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{densify, hamming_distance, validate_input, BaselineError, CategoricalClusterer, Clustering};
+
+/// The COOLCAT clusterer.
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::synth::GeneratorConfig;
+/// use mcdc_baselines::{CategoricalClusterer, Coolcat};
+///
+/// let data = GeneratorConfig::new("demo", 120, vec![3; 6], 2)
+///     .noise(0.05)
+///     .generate(1)
+///     .dataset;
+/// let result = Coolcat::new(3).cluster(data.table(), 2)?;
+/// assert_eq!(result.labels.len(), 120);
+/// # Ok::<(), mcdc_baselines::BaselineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coolcat {
+    seed: u64,
+    /// Bootstrap sample size for founder selection.
+    sample_size: usize,
+    /// Fraction of worst-fitting objects revisited per re-clustering sweep.
+    refit_fraction: f64,
+    /// Number of re-clustering sweeps.
+    refit_sweeps: usize,
+}
+
+impl Coolcat {
+    /// Creates a COOLCAT clusterer with the original system's shape:
+    /// bootstrap sample of 100, 20% re-clustering over 2 sweeps.
+    pub fn new(seed: u64) -> Self {
+        Coolcat { seed, sample_size: 100, refit_fraction: 0.2, refit_sweeps: 2 }
+    }
+
+    /// Sets the bootstrap sample size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn with_sample_size(mut self, size: usize) -> Self {
+        assert!(size > 0, "sample size must be positive");
+        self.sample_size = size;
+        self
+    }
+}
+
+/// Entropy bookkeeping for one cluster: per-feature value counts.
+struct EntropyCluster {
+    counts: Vec<Vec<u32>>,
+    size: u32,
+}
+
+impl EntropyCluster {
+    fn new(table: &CategoricalTable) -> Self {
+        EntropyCluster {
+            counts: (0..table.n_features())
+                .map(|r| vec![0; table.schema().domain(r).cardinality() as usize])
+                .collect(),
+            size: 0,
+        }
+    }
+
+    fn add(&mut self, row: &[u32]) {
+        for (r, &v) in row.iter().enumerate() {
+            if v != MISSING {
+                self.counts[r][v as usize] += 1;
+            }
+        }
+        self.size += 1;
+    }
+
+    fn remove(&mut self, row: &[u32]) {
+        for (r, &v) in row.iter().enumerate() {
+            if v != MISSING {
+                self.counts[r][v as usize] -= 1;
+            }
+        }
+        self.size -= 1;
+    }
+
+    /// Size-weighted entropy contribution `|C| · Σ_r H(F_r | C)`.
+    fn weighted_entropy(&self) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        let n = self.size as f64;
+        let mut h = 0.0;
+        for feature in &self.counts {
+            for &c in feature {
+                if c > 0 {
+                    let p = c as f64 / n;
+                    h -= p * p.ln();
+                }
+            }
+        }
+        n * h
+    }
+
+    /// Entropy increase if `row` were added.
+    fn entropy_delta(&mut self, row: &[u32]) -> f64 {
+        let before = self.weighted_entropy();
+        self.add(row);
+        let after = self.weighted_entropy();
+        self.remove(row);
+        after - before
+    }
+}
+
+impl CategoricalClusterer for Coolcat {
+    fn name(&self) -> &'static str {
+        "COOLCAT"
+    }
+
+    fn cluster(&self, table: &CategoricalTable, k: usize) -> Result<Clustering, BaselineError> {
+        validate_input(table, k)?;
+        let n = table.n_rows();
+
+        // Bootstrap: sample, pick the k founders maximizing mutual Hamming
+        // distance (greedy max-min, deterministic given the sample).
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let sample: Vec<usize> = order.iter().copied().take(self.sample_size.min(n)).collect();
+        let mut founders = vec![sample[0]];
+        while founders.len() < k {
+            let next = sample
+                .iter()
+                .copied()
+                .filter(|i| !founders.contains(i))
+                .max_by_key(|&i| {
+                    founders
+                        .iter()
+                        .map(|&f| hamming_distance(table.row(i), table.row(f)))
+                        .min()
+                        .unwrap_or(0)
+                })
+                .ok_or(BaselineError::InvalidK { k, n: sample.len() })?;
+            founders.push(next);
+        }
+
+        let mut clusters: Vec<EntropyCluster> =
+            (0..k).map(|_| EntropyCluster::new(table)).collect();
+        let mut labels = vec![usize::MAX; n];
+        for (l, &i) in founders.iter().enumerate() {
+            clusters[l].add(table.row(i));
+            labels[i] = l;
+        }
+
+        // Incremental placement in the shuffled order.
+        for &i in &order {
+            if labels[i] != usize::MAX {
+                continue;
+            }
+            let row = table.row(i);
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    clusters[a]
+                        .entropy_delta(row)
+                        .partial_cmp(&clusters[b].entropy_delta(row))
+                        .expect("entropies are finite")
+                })
+                .expect("k >= 1");
+            clusters[best].add(row);
+            labels[i] = best;
+        }
+
+        // Re-clustering sweeps: revisit the worst-fitting fraction.
+        let refit_count = ((n as f64) * self.refit_fraction).round() as usize;
+        let mut iterations = 1;
+        for _ in 0..self.refit_sweeps {
+            iterations += 1;
+            // Fitness of an object: probability mass of its values in its
+            // own cluster (low = badly placed).
+            let mut fitness: Vec<(usize, f64)> = (0..n)
+                .map(|i| {
+                    let l = labels[i];
+                    let c = &clusters[l];
+                    let mass: f64 = table
+                        .row(i)
+                        .iter()
+                        .enumerate()
+                        .map(|(r, &v)| {
+                            if v == MISSING || c.size == 0 {
+                                0.0
+                            } else {
+                                c.counts[r][v as usize] as f64 / c.size as f64
+                            }
+                        })
+                        .sum();
+                    (i, mass)
+                })
+                .collect();
+            fitness.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"));
+            let mut moved = false;
+            for &(i, _) in fitness.iter().take(refit_count) {
+                let row = table.row(i);
+                let current = labels[i];
+                if clusters[current].size <= 1 {
+                    continue;
+                }
+                clusters[current].remove(row);
+                let best = (0..k)
+                    .min_by(|&a, &b| {
+                        clusters[a]
+                            .entropy_delta(row)
+                            .partial_cmp(&clusters[b].entropy_delta(row))
+                            .expect("entropies are finite")
+                    })
+                    .expect("k >= 1");
+                clusters[best].add(row);
+                if best != current {
+                    labels[i] = best;
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+
+        let k_found = densify(&mut labels);
+        if k_found < k {
+            return Err(BaselineError::FailedToFormK { k, found: k_found });
+        }
+        Ok(Clustering { labels, k_found, iterations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use categorical_data::synth::GeneratorConfig;
+    use categorical_data::Dataset;
+
+    fn separated(n: usize, k: usize, seed: u64) -> Dataset {
+        GeneratorConfig::new("t", n, vec![4; 8], k).noise(0.05).generate(seed).dataset
+    }
+
+    #[test]
+    fn recovers_separated_clusters() {
+        let data = separated(240, 3, 1);
+        let result = Coolcat::new(3).cluster(data.table(), 3).unwrap();
+        let acc = cluster_eval::accuracy(data.labels(), &result.labels);
+        assert!(acc > 0.85, "acc={acc}");
+    }
+
+    #[test]
+    fn entropy_delta_is_nonnegative_for_new_values() {
+        let data = separated(50, 2, 2);
+        let mut c = EntropyCluster::new(data.table());
+        c.add(data.table().row(0));
+        // Adding any object can only increase (or keep) weighted entropy.
+        let delta = c.entropy_delta(data.table().row(1));
+        assert!(delta >= -1e-12, "delta={delta}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = separated(100, 2, 3);
+        let c = Coolcat::new(9);
+        assert_eq!(c.cluster(data.table(), 2).unwrap(), c.cluster(data.table(), 2).unwrap());
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let data = separated(10, 2, 4);
+        assert!(Coolcat::new(0).cluster(data.table(), 0).is_err());
+        assert!(Coolcat::new(0).cluster(data.table(), 11).is_err());
+    }
+
+    #[test]
+    fn founder_count_equals_k() {
+        let data = separated(60, 2, 5);
+        for k in [2, 4, 6] {
+            let result = Coolcat::new(1).cluster(data.table(), k).unwrap();
+            assert_eq!(result.k_found, k);
+        }
+    }
+}

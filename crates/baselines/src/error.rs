@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Error raised by baseline clusterers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The input table holds no objects.
+    EmptyInput,
+    /// The requested number of clusters is invalid for the input.
+    InvalidK {
+        /// Requested number of clusters.
+        k: usize,
+        /// Number of objects available.
+        n: usize,
+    },
+    /// The algorithm could not deliver `k` non-empty clusters — the failure
+    /// mode the paper's Table III records as a 0.000 score (e.g. ROCK on
+    /// Nursery, FKMAWCW on Mushroom, GUDMM on Balance).
+    FailedToFormK {
+        /// Requested number of clusters.
+        k: usize,
+        /// Number of clusters the algorithm ended with.
+        found: usize,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable constraint description.
+        message: String,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::EmptyInput => write!(f, "input table holds no objects"),
+            BaselineError::InvalidK { k, n } => {
+                write!(f, "cannot form {k} clusters from {n} objects")
+            }
+            BaselineError::FailedToFormK { k, found } => {
+                write!(f, "algorithm delivered {found} clusters where {k} were sought")
+            }
+            BaselineError::InvalidConfig { parameter, message } => {
+                write!(f, "invalid configuration for {parameter}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}

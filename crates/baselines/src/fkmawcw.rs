@@ -1,0 +1,297 @@
+//! FKMAWCW (Oskouei, Balafar & Motamed 2021): categorical fuzzy k-modes with
+//! automated per-cluster attribute weights and cluster weights.
+//!
+//! Minimizes
+//! `J = Σ_j z_j^p Σ_i u_ij^m Σ_r w_rj^q δ(x_ir, Z_jr)`
+//! by alternating closed-form multiplicative updates of the fuzzy
+//! memberships `u`, the cluster modes `Z`, the per-cluster attribute weights
+//! `w`, and the cluster weights `z`. Re-implemented from the published
+//! update-rule structure (the reference implementation is closed source —
+//! DESIGN.md §3); the paper-reported failure mode (collapsing below `k`
+//! clusters on some data sets, scored 0.000 in Table III) is preserved via
+//! [`BaselineError::FailedToFormK`].
+
+use categorical_data::{CategoricalTable, MISSING};
+
+use crate::{densify, validate_input, BaselineError, CategoricalClusterer, Clustering};
+
+/// Guard against division by zero in the multiplicative updates.
+const EPS: f64 = 1e-10;
+
+/// The FKMAWCW fuzzy clusterer.
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::synth::GeneratorConfig;
+/// use mcdc_baselines::{CategoricalClusterer, Fkmawcw};
+///
+/// let data = GeneratorConfig::new("demo", 90, vec![3; 5], 3)
+///     .noise(0.05)
+///     .generate(1)
+///     .dataset;
+/// let result = Fkmawcw::new(4).cluster(data.table(), 3)?;
+/// assert_eq!(result.labels.len(), 90);
+/// # Ok::<(), mcdc_baselines::BaselineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fkmawcw {
+    seed: u64,
+    /// Membership fuzzifier `m` (paper default 2).
+    fuzzifier: f64,
+    /// Attribute-weight exponent `q`.
+    attribute_exponent: f64,
+    /// Cluster-weight exponent `p`.
+    cluster_exponent: f64,
+    max_iterations: usize,
+}
+
+impl Fkmawcw {
+    /// Creates a clusterer with a crisp fuzzifier (`m = 1.3`, following the
+    /// fuzzy-k-modes lineage of Huang & Ng where `α = 1.1`; `m = 2` makes
+    /// close categorical modes collapse onto the global majority row), the
+    /// source paper's attribute exponent (`q = 2`), and a softened
+    /// cluster-weight exponent (`p = 1.5`): the mass prior enters as
+    /// `z^(p−1) = √z`, keeping the imbalance-handling benefit while damping
+    /// rich-get-richer collapse on low-cardinality features.
+    pub fn new(seed: u64) -> Self {
+        Fkmawcw {
+            seed,
+            fuzzifier: 1.3,
+            attribute_exponent: 2.0,
+            cluster_exponent: 1.5,
+            max_iterations: 100,
+        }
+    }
+
+    /// Sets the membership fuzzifier `m > 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m <= 1`.
+    pub fn with_fuzzifier(mut self, m: f64) -> Self {
+        assert!(m > 1.0, "fuzzifier must exceed 1");
+        self.fuzzifier = m;
+        self
+    }
+
+    /// Caps the update iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_max_iterations(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "max_iterations must be positive");
+        self.max_iterations = cap;
+        self
+    }
+}
+
+impl CategoricalClusterer for Fkmawcw {
+    fn name(&self) -> &'static str {
+        "FKMAWCW"
+    }
+
+    fn cluster(&self, table: &CategoricalTable, k: usize) -> Result<Clustering, BaselineError> {
+        validate_input(table, k)?;
+        let n = table.n_rows();
+        let d = table.n_features();
+        let m = self.fuzzifier;
+        let q = self.attribute_exponent;
+        let p = self.cluster_exponent;
+
+        // Initialize modes on spread-out objects (max-min seeding).
+        let mut modes: Vec<Vec<u32>> = crate::spread_seeds(table, k, self.seed)
+            .iter()
+            .map(|&i| table.row(i).to_vec())
+            .collect();
+
+        let mut attr_w = vec![vec![1.0 / d as f64; d]; k];
+        let mut cluster_w = vec![1.0 / k as f64; k];
+        let mut memberships = vec![vec![0.0f64; k]; n];
+        let mut labels = vec![usize::MAX; n];
+        let mut iterations = 0;
+
+        // Weight learning starts only after the memberships have had a few
+        // rounds to find real structure: with q = 2 the weights enter the
+        // distance squared, and updating them from the near-random first
+        // partition locks the iteration into that partition (weights peak on
+        // whatever quirk features the seeds happened to disagree on).
+        const WARM_START: usize = 3;
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+
+            // Weighted dissimilarity: the cluster weight acts as a learned
+            // prior (mass share), so D_ij = Σ_r w_rj^q δ(x_ir, Z_jr) / z_j^(p−1)
+            // — larger clusters are proportionally more attractive, which is
+            // what lets the method cope with imbalanced clusters (its selling
+            // point) and also what can collapse it below k clusters on heavily
+            // overlapped data (the 0.000 failure rows of Table III).
+            // Memberships: u_ij ∝ D_ij^(−1/(m−1)).
+            let mut changed = false;
+            for i in 0..n {
+                let row = table.row(i);
+                let mut dist = vec![0.0f64; k];
+                for (j, mode) in modes.iter().enumerate() {
+                    let base: f64 = row
+                        .iter()
+                        .zip(mode)
+                        .zip(&attr_w[j])
+                        .map(|((&a, &b), &w)| {
+                            if a == b && a != MISSING {
+                                0.0
+                            } else {
+                                w.powf(q)
+                            }
+                        })
+                        .sum();
+                    dist[j] = base / (cluster_w[j] + EPS).powf(p - 1.0) + EPS;
+                }
+                let mut total = 0.0;
+                for j in 0..k {
+                    memberships[i][j] = dist[j].powf(-1.0 / (m - 1.0));
+                    total += memberships[i][j];
+                }
+                let mut best = 0usize;
+                for j in 0..k {
+                    memberships[i][j] /= total;
+                    if memberships[i][j] > memberships[i][best] {
+                        best = j;
+                    }
+                }
+                if labels[i] != best {
+                    labels[i] = best;
+                    changed = true;
+                }
+            }
+
+            // Modes: per cluster/feature the value maximizing Σ_i u_ij^m.
+            for (j, mode) in modes.iter_mut().enumerate() {
+                for r in 0..d {
+                    let cardinality = table.schema().domain(r).cardinality() as usize;
+                    let mut scores = vec![0.0f64; cardinality];
+                    for i in 0..n {
+                        let v = table.value(i, r);
+                        if v != MISSING {
+                            scores[v as usize] += memberships[i][j].powf(m);
+                        }
+                    }
+                    mode[r] = scores
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+                        .map_or(0, |(t, _)| t as u32);
+                }
+            }
+
+            if iterations <= WARM_START {
+                if !changed {
+                    break;
+                }
+                continue;
+            }
+
+            // Attribute weights: w_rj ∝ (Σ_i u_ij^m δ(x_ir, Z_jr))^(−1/(q−1)).
+            // Zero-dispersion features get zero weight (Huang et al. 2005's
+            // W-k-means convention): a feature on which the whole cluster
+            // already matches its mode separates nothing, and the inverse
+            // power would otherwise hand it all the weight mass.
+            for (j, weights) in attr_w.iter_mut().enumerate() {
+                let mut cost = vec![0.0f64; d];
+                for i in 0..n {
+                    let u_m = memberships[i][j].powf(m);
+                    let row = table.row(i);
+                    for (r, slot) in cost.iter_mut().enumerate() {
+                        if row[r] != modes[j][r] || row[r] == MISSING {
+                            *slot += u_m;
+                        }
+                    }
+                }
+                let floor = cost.iter().copied().fold(0.0f64, f64::max) * 1e-9;
+                let mut total = 0.0;
+                for (r, slot) in weights.iter_mut().enumerate() {
+                    *slot = if cost[r] <= floor { 0.0 } else { cost[r].powf(-1.0 / (q - 1.0)) };
+                    total += *slot;
+                }
+                if total <= EPS {
+                    *weights = vec![1.0 / d as f64; d];
+                } else {
+                    for slot in weights.iter_mut() {
+                        *slot /= total;
+                    }
+                }
+            }
+
+            // Cluster weights: normalized fuzzy mass z_j ∝ Σ_i u_ij^m.
+            let mut total_z = 0.0;
+            for (j, z) in cluster_w.iter_mut().enumerate() {
+                let mass: f64 = (0..n).map(|i| memberships[i][j].powf(m)).sum();
+                *z = mass + EPS;
+                total_z += *z;
+            }
+            for z in cluster_w.iter_mut() {
+                *z /= total_z;
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        let k_found = densify(&mut labels);
+        if k_found < k {
+            // The failure mode the paper scores as 0.000.
+            return Err(BaselineError::FailedToFormK { k, found: k_found });
+        }
+        Ok(Clustering { labels, k_found, iterations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use categorical_data::synth::GeneratorConfig;
+    use categorical_data::Dataset;
+
+    fn separated(n: usize, k: usize, seed: u64) -> Dataset {
+        GeneratorConfig::new("t", n, vec![4; 8], k).noise(0.05).generate(seed).dataset
+    }
+
+    #[test]
+    fn recovers_separated_clusters() {
+        let data = separated(240, 3, 1);
+        let result = Fkmawcw::new(3).cluster(data.table(), 3).unwrap();
+        let acc = cluster_eval::accuracy(data.labels(), &result.labels);
+        assert!(acc > 0.85, "acc={acc}");
+    }
+
+    #[test]
+    fn memberships_induce_full_partition() {
+        let data = separated(100, 2, 2);
+        let result = Fkmawcw::new(1).cluster(data.table(), 2).unwrap();
+        assert_eq!(result.labels.len(), 100);
+        assert!(result.labels.iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = separated(80, 2, 3);
+        let f = Fkmawcw::new(7);
+        assert_eq!(
+            f.cluster(data.table(), 2).unwrap(),
+            f.cluster(data.table(), 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_k() {
+        let data = separated(10, 2, 4);
+        assert!(Fkmawcw::new(0).cluster(data.table(), 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "fuzzifier")]
+    fn rejects_bad_fuzzifier() {
+        let _ = Fkmawcw::new(0).with_fuzzifier(1.0);
+    }
+}

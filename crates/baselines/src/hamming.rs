@@ -1,0 +1,80 @@
+use categorical_data::MISSING;
+
+/// Hamming distance between two code rows: the number of features on which
+/// they differ. Missing values never match anything (including each other),
+/// mirroring the paper's `Ψ_{F_r ≠ NULL}` treatment.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the rows have different arities.
+///
+/// # Example
+///
+/// ```
+/// use mcdc_baselines::hamming_distance;
+///
+/// assert_eq!(hamming_distance(&[0, 1, 2], &[0, 1, 2]), 0);
+/// assert_eq!(hamming_distance(&[0, 1, 2], &[0, 2, 1]), 2);
+/// ```
+pub fn hamming_distance(a: &[u32], b: &[u32]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).filter(|(&x, &y)| x != y || x == MISSING).count()
+}
+
+/// Jaccard similarity between the attribute-value sets of two rows, the
+/// point similarity ROCK is built on: with `m` matching features out of `d`,
+/// `|A ∩ B| / |A ∪ B| = m / (2d − m)`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the rows have different arities.
+///
+/// # Example
+///
+/// ```
+/// use mcdc_baselines::jaccard_similarity;
+///
+/// assert_eq!(jaccard_similarity(&[0, 1], &[0, 1]), 1.0);
+/// assert_eq!(jaccard_similarity(&[0, 1], &[0, 2]), 1.0 / 3.0);
+/// assert_eq!(jaccard_similarity(&[0, 1], &[1, 0]), 0.0);
+/// ```
+pub fn jaccard_similarity(a: &[u32], b: &[u32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let d = a.len();
+    if d == 0 {
+        return 0.0;
+    }
+    let matches = d - hamming_distance(a, b);
+    matches as f64 / (2 * d - matches) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rows_have_zero_distance() {
+        assert_eq!(hamming_distance(&[5, 5], &[5, 5]), 0);
+    }
+
+    #[test]
+    fn missing_never_matches() {
+        assert_eq!(hamming_distance(&[MISSING, 1], &[MISSING, 1]), 1);
+    }
+
+    #[test]
+    fn jaccard_of_disjoint_rows_is_zero() {
+        assert_eq!(jaccard_similarity(&[0, 0, 0], &[1, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_formula_matches_set_definition() {
+        // 3 features, 2 matches: |A∩B| = 2, |A∪B| = 4.
+        assert!((jaccard_similarity(&[0, 1, 2], &[0, 1, 0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rows_have_zero_jaccard() {
+        assert_eq!(jaccard_similarity(&[], &[]), 0.0);
+    }
+}

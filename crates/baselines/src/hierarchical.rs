@@ -1,0 +1,240 @@
+//! Classic agglomerative linkage clustering (single / complete / average)
+//! over Hamming distances — the conventional hierarchical substrate the
+//! paper's introduction discusses and the efficiency experiments compare
+//! against (hierarchical methods are the laborious O(n²·…) baseline MGCPL
+//! is meant to replace).
+//!
+//! Uses the Lance–Williams update over a dense distance matrix, so memory is
+//! O(sample²); large inputs are clustered on a seeded sample and remaining
+//! objects are attached to their nearest cluster exemplar, like ROCK.
+
+use categorical_data::CategoricalTable;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{densify, hamming_distance, validate_input, BaselineError, CategoricalClusterer, Clustering};
+
+/// Which linkage rule merges clusters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LinkageMethod {
+    /// Minimum pairwise distance between members.
+    Single,
+    /// Maximum pairwise distance between members.
+    Complete,
+    /// Size-weighted mean pairwise distance (UPGMA).
+    #[default]
+    Average,
+}
+
+impl LinkageMethod {
+    fn update(&self, d_ak: f64, d_bk: f64, na: usize, nb: usize) -> f64 {
+        match self {
+            LinkageMethod::Single => d_ak.min(d_bk),
+            LinkageMethod::Complete => d_ak.max(d_bk),
+            LinkageMethod::Average => {
+                (na as f64 * d_ak + nb as f64 * d_bk) / (na + nb) as f64
+            }
+        }
+    }
+}
+
+/// The agglomerative linkage clusterer.
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::synth::GeneratorConfig;
+/// use mcdc_baselines::{CategoricalClusterer, Linkage, LinkageMethod};
+///
+/// let data = GeneratorConfig::new("demo", 60, vec![4; 6], 2)
+///     .noise(0.05)
+///     .generate(1)
+///     .dataset;
+/// let result = Linkage::new(LinkageMethod::Average).cluster(data.table(), 2)?;
+/// assert_eq!(result.k_found, 2);
+/// # Ok::<(), mcdc_baselines::BaselineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Linkage {
+    method: LinkageMethod,
+    sample_size: usize,
+    seed: u64,
+}
+
+impl Linkage {
+    /// Creates a linkage clusterer with a 2000-object sampling cap.
+    pub fn new(method: LinkageMethod) -> Self {
+        Linkage { method, sample_size: 2000, seed: 0 }
+    }
+
+    /// Sets the sampling cap for large inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < 2`.
+    pub fn with_sample_size(mut self, cap: usize) -> Self {
+        assert!(cap >= 2, "sample size must be at least 2");
+        self.sample_size = cap;
+        self
+    }
+
+    /// Seeds the sampling step.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl CategoricalClusterer for Linkage {
+    fn name(&self) -> &'static str {
+        match self.method {
+            LinkageMethod::Single => "SINGLE-LINK",
+            LinkageMethod::Complete => "COMPLETE-LINK",
+            LinkageMethod::Average => "AVERAGE-LINK",
+        }
+    }
+
+    fn cluster(&self, table: &CategoricalTable, k: usize) -> Result<Clustering, BaselineError> {
+        validate_input(table, k)?;
+        let n = table.n_rows();
+
+        let (sample, sampled): (Vec<usize>, bool) = if n <= self.sample_size {
+            ((0..n).collect(), false)
+        } else {
+            let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+            let mut indices: Vec<usize> = (0..n).collect();
+            indices.shuffle(&mut rng);
+            indices.truncate(self.sample_size);
+            (indices, true)
+        };
+        let s = sample.len();
+        if k > s {
+            return Err(BaselineError::InvalidK { k, n: s });
+        }
+
+        // Dense distance matrix over the sample.
+        let mut dist = vec![0.0f64; s * s];
+        for a in 0..s {
+            for b in (a + 1)..s {
+                let d = hamming_distance(table.row(sample[a]), table.row(sample[b])) as f64;
+                dist[a * s + b] = d;
+                dist[b * s + a] = d;
+            }
+        }
+
+        let mut active: Vec<bool> = vec![true; s];
+        let mut sizes: Vec<usize> = vec![1; s];
+        let mut cluster_of: Vec<usize> = (0..s).collect();
+        let mut merges = 0usize;
+        for _ in 0..(s - k) {
+            // Nearest active pair.
+            let mut best: Option<(usize, usize, f64)> = None;
+            for a in 0..s {
+                if !active[a] {
+                    continue;
+                }
+                for b in (a + 1)..s {
+                    if !active[b] {
+                        continue;
+                    }
+                    let d = dist[a * s + b];
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
+                        best = Some((a, b, d));
+                    }
+                }
+            }
+            let (a, b, _) = best.expect("at least two active clusters remain");
+            // Lance–Williams update of distances to the merged cluster a∪b.
+            for c in 0..s {
+                if !active[c] || c == a || c == b {
+                    continue;
+                }
+                let updated = self.method.update(dist[a * s + c], dist[b * s + c], sizes[a], sizes[b]);
+                dist[a * s + c] = updated;
+                dist[c * s + a] = updated;
+            }
+            active[b] = false;
+            sizes[a] += sizes[b];
+            for slot in cluster_of.iter_mut() {
+                if *slot == b {
+                    *slot = a;
+                }
+            }
+            merges += 1;
+        }
+
+        let mut labels = vec![usize::MAX; n];
+        for (pos, &i) in sample.iter().enumerate() {
+            labels[i] = cluster_of[pos];
+        }
+        if sampled {
+            // Attach non-sampled objects to the cluster of their nearest
+            // sampled exemplar.
+            for i in 0..n {
+                if labels[i] != usize::MAX {
+                    continue;
+                }
+                let nearest = sample
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &j)| hamming_distance(table.row(i), table.row(j)))
+                    .map(|(pos, _)| pos)
+                    .expect("sample is non-empty");
+                labels[i] = cluster_of[nearest];
+            }
+        }
+        let k_found = densify(&mut labels);
+        Ok(Clustering { labels, k_found, iterations: merges })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use categorical_data::synth::GeneratorConfig;
+    use categorical_data::Dataset;
+
+    fn separated(n: usize, k: usize, seed: u64) -> Dataset {
+        GeneratorConfig::new("t", n, vec![4; 8], k).noise(0.03).generate(seed).dataset
+    }
+
+    #[test]
+    fn all_methods_recover_separated_clusters() {
+        let data = separated(120, 3, 1);
+        for method in [LinkageMethod::Single, LinkageMethod::Complete, LinkageMethod::Average] {
+            let result = Linkage::new(method).cluster(data.table(), 3).unwrap();
+            let acc = cluster_eval::accuracy(data.labels(), &result.labels);
+            assert!(acc > 0.85, "{method:?}: acc={acc}");
+        }
+    }
+
+    #[test]
+    fn produces_exactly_k_clusters() {
+        let data = separated(60, 2, 2);
+        for k in [2, 4, 7] {
+            let result = Linkage::new(LinkageMethod::Average).cluster(data.table(), k).unwrap();
+            assert_eq!(result.k_found, k);
+        }
+    }
+
+    #[test]
+    fn sampling_path_labels_everything() {
+        let data = separated(500, 2, 3);
+        let result = Linkage::new(LinkageMethod::Average)
+            .with_sample_size(150)
+            .cluster(data.table(), 2)
+            .unwrap();
+        assert_eq!(result.labels.len(), 500);
+        let acc = cluster_eval::accuracy(data.labels(), &result.labels);
+        assert!(acc > 0.85, "acc={acc}");
+    }
+
+    #[test]
+    fn lance_williams_updates() {
+        assert_eq!(LinkageMethod::Single.update(1.0, 3.0, 2, 4), 1.0);
+        assert_eq!(LinkageMethod::Complete.update(1.0, 3.0, 2, 4), 3.0);
+        let avg = LinkageMethod::Average.update(1.0, 4.0, 2, 4);
+        assert!((avg - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,278 @@
+//! k-modes (Huang 1997): k-means adapted to categorical data with Hamming
+//! dissimilarity and per-feature modes as cluster centers.
+
+use categorical_data::{CategoricalTable, MISSING};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{densify, hamming_distance, validate_input, BaselineError, CategoricalClusterer, Clustering};
+
+/// Mode initialization strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum KModesInit {
+    /// `k` distinct random objects (Huang's first method).
+    #[default]
+    RandomObjects,
+    /// Huang's second, frequency-based method: modes built from the most
+    /// frequent values, then snapped to their nearest objects.
+    Frequency,
+}
+
+/// The k-modes clusterer.
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::synth::GeneratorConfig;
+/// use mcdc_baselines::{CategoricalClusterer, KModes};
+///
+/// let data = GeneratorConfig::new("demo", 90, vec![3; 5], 3)
+///     .noise(0.05)
+///     .generate(1)
+///     .dataset;
+/// let result = KModes::new(42).cluster(data.table(), 3)?;
+/// assert_eq!(result.k_found, 3);
+/// # Ok::<(), mcdc_baselines::BaselineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KModes {
+    seed: u64,
+    init: KModesInit,
+    max_iterations: usize,
+}
+
+impl KModes {
+    /// Creates a k-modes clusterer with the given `seed` and default
+    /// settings (random-object init, 100-iteration cap).
+    pub fn new(seed: u64) -> Self {
+        KModes { seed, init: KModesInit::default(), max_iterations: 100 }
+    }
+
+    /// Sets the initialization strategy.
+    pub fn with_init(mut self, init: KModesInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Caps the assign/update iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_max_iterations(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "max_iterations must be positive");
+        self.max_iterations = cap;
+        self
+    }
+
+    fn initial_modes(&self, table: &CategoricalTable, k: usize) -> Vec<Vec<u32>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        match self.init {
+            KModesInit::RandomObjects => {
+                let mut indices: Vec<usize> = (0..table.n_rows()).collect();
+                indices.shuffle(&mut rng);
+                indices.truncate(k);
+                indices.iter().map(|&i| table.row(i).to_vec()).collect()
+            }
+            KModesInit::Frequency => frequency_modes(table, k),
+        }
+    }
+}
+
+/// Huang's frequency-based seeding: distribute the most frequent values of
+/// every feature across the k modes, then replace each synthetic mode by its
+/// nearest actual object to guarantee non-empty neighbourhoods.
+fn frequency_modes(table: &CategoricalTable, k: usize) -> Vec<Vec<u32>> {
+    let d = table.n_features();
+    // Rank values per feature by frequency.
+    let mut ranked: Vec<Vec<u32>> = Vec::with_capacity(d);
+    for r in 0..d {
+        let m = table.schema().domain(r).cardinality() as usize;
+        let mut counts = vec![0u64; m];
+        for v in table.column(r) {
+            if v != MISSING {
+                counts[v as usize] += 1;
+            }
+        }
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(counts[v as usize]));
+        ranked.push(order);
+    }
+    // Synthetic mode j takes the (j mod m_r)-th most frequent value.
+    let synthetic: Vec<Vec<u32>> = (0..k)
+        .map(|j| (0..d).map(|r| ranked[r][j % ranked[r].len()]).collect())
+        .collect();
+    // Snap to nearest distinct objects.
+    let mut used = vec![false; table.n_rows()];
+    synthetic
+        .iter()
+        .map(|mode| {
+            let (mut best, mut best_dist) = (0usize, usize::MAX);
+            for i in 0..table.n_rows() {
+                if used[i] {
+                    continue;
+                }
+                let dist = hamming_distance(table.row(i), mode);
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = i;
+                }
+            }
+            used[best] = true;
+            table.row(best).to_vec()
+        })
+        .collect()
+}
+
+/// Per-cluster, per-feature value counts for mode updates.
+fn update_modes(table: &CategoricalTable, labels: &[usize], k: usize) -> Vec<Vec<u32>> {
+    let d = table.n_features();
+    let mut counts: Vec<Vec<Vec<u32>>> = (0..k)
+        .map(|_| {
+            (0..d)
+                .map(|r| vec![0u32; table.schema().domain(r).cardinality() as usize])
+                .collect()
+        })
+        .collect();
+    for (i, &l) in labels.iter().enumerate() {
+        for (r, &v) in table.row(i).iter().enumerate() {
+            if v != MISSING {
+                counts[l][r][v as usize] += 1;
+            }
+        }
+    }
+    counts
+        .iter()
+        .map(|cluster| {
+            cluster
+                .iter()
+                .map(|feature| {
+                    feature
+                        .iter()
+                        .enumerate()
+                        .max_by(|(ta, ca), (tb, cb)| ca.cmp(cb).then(tb.cmp(ta)))
+                        .map_or(0, |(t, _)| t as u32)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+impl CategoricalClusterer for KModes {
+    fn name(&self) -> &'static str {
+        "K-MODES"
+    }
+
+    fn cluster(&self, table: &CategoricalTable, k: usize) -> Result<Clustering, BaselineError> {
+        validate_input(table, k)?;
+        let n = table.n_rows();
+        let mut modes = self.initial_modes(table, k);
+        let mut labels = vec![usize::MAX; n];
+        let mut iterations = 0;
+
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            let mut changed = false;
+            for i in 0..n {
+                let row = table.row(i);
+                let best = modes
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, mode)| hamming_distance(row, mode))
+                    .map(|(l, _)| l)
+                    .expect("k >= 1");
+                if labels[i] != best {
+                    labels[i] = best;
+                    changed = true;
+                }
+            }
+            // Re-seed any emptied cluster on the object farthest from its mode.
+            let mut sizes = vec![0usize; k];
+            for &l in &labels {
+                sizes[l] += 1;
+            }
+            for l in 0..k {
+                if sizes[l] > 0 {
+                    continue;
+                }
+                let far = (0..n)
+                    .filter(|&i| sizes[labels[i]] > 1)
+                    .max_by_key(|&i| hamming_distance(table.row(i), &modes[labels[i]]));
+                if let Some(i) = far {
+                    sizes[labels[i]] -= 1;
+                    labels[i] = l;
+                    sizes[l] = 1;
+                    changed = true;
+                }
+            }
+            modes = update_modes(table, &labels, k);
+            if !changed {
+                break;
+            }
+        }
+
+        let k_found = densify(&mut labels);
+        if k_found < k {
+            return Err(BaselineError::FailedToFormK { k, found: k_found });
+        }
+        Ok(Clustering { labels, k_found, iterations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use categorical_data::synth::GeneratorConfig;
+    use categorical_data::Dataset;
+
+    fn separated(n: usize, k: usize, seed: u64) -> Dataset {
+        GeneratorConfig::new("t", n, vec![4; 8], k).noise(0.05).generate(seed).dataset
+    }
+
+    #[test]
+    fn recovers_separated_clusters() {
+        let data = separated(240, 3, 1);
+        let result = KModes::new(5).cluster(data.table(), 3).unwrap();
+        let acc = cluster_eval::accuracy(data.labels(), &result.labels);
+        assert!(acc > 0.9, "acc={acc}");
+    }
+
+    #[test]
+    fn frequency_init_is_deterministic() {
+        let data = separated(120, 2, 2);
+        let km = KModes::new(0).with_init(KModesInit::Frequency);
+        let a = km.cluster(data.table(), 2).unwrap();
+        let b = km.cluster(data.table(), 2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delivers_exactly_k_clusters() {
+        let data = separated(60, 2, 3);
+        for k in [2, 3, 5] {
+            let result = KModes::new(1).cluster(data.table(), k).unwrap();
+            assert_eq!(result.k_found, k);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_k() {
+        let data = separated(10, 2, 4);
+        assert!(matches!(
+            KModes::new(0).cluster(data.table(), 0),
+            Err(BaselineError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            KModes::new(0).cluster(data.table(), 11),
+            Err(BaselineError::InvalidK { .. })
+        ));
+    }
+
+    #[test]
+    fn k_equals_n_is_all_singletons() {
+        let data = separated(8, 2, 5);
+        let result = KModes::new(2).cluster(data.table(), 8).unwrap();
+        assert_eq!(result.k_found, 8);
+    }
+}

@@ -1,0 +1,328 @@
+//! ROCK (Guha, Rastogi & Shim 2000): agglomerative clustering of categorical
+//! data driven by *links* — counts of common neighbours — rather than raw
+//! pairwise similarity.
+//!
+//! Two objects are neighbours when their Jaccard similarity is at least θ;
+//! `link(p, q)` is the number of their common neighbours; clusters are
+//! merged greedily by the goodness measure
+//! `g(Ci, Cj) = links[Ci,Cj] / ((n_i+n_j)^(1+2f(θ)) − n_i^(1+2f(θ)) − n_j^(1+2f(θ)))`
+//! with `f(θ) = (1−θ)/(1+θ)`. As in the original system, large inputs are
+//! clustered on a random sample and the remaining objects are labelled by
+//! their neighbour affinity to the formed clusters.
+//!
+//! When the link graph runs dry before reaching `k` clusters, ROCK cannot
+//! deliver the sought partition — the failure Table III scores as 0.000.
+
+use categorical_data::CategoricalTable;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{densify, jaccard_similarity, validate_input, BaselineError, CategoricalClusterer, Clustering};
+
+/// The ROCK clusterer.
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::synth::GeneratorConfig;
+/// use mcdc_baselines::{CategoricalClusterer, Rock};
+///
+/// let data = GeneratorConfig::new("demo", 120, vec![4; 8], 2)
+///     .noise(0.05)
+///     .generate(1)
+///     .dataset;
+/// let result = Rock::new(0.5).cluster(data.table(), 2)?;
+/// assert_eq!(result.labels.len(), 120);
+/// # Ok::<(), mcdc_baselines::BaselineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rock {
+    theta: f64,
+    sample_size: usize,
+    seed: u64,
+}
+
+impl Rock {
+    /// Creates a ROCK clusterer with neighbour threshold `theta`
+    /// (the original paper explores 0.5–0.8) and a 2000-object sampling cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is not in `(0, 1)`.
+    pub fn new(theta: f64) -> Self {
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        Rock { theta, sample_size: 2000, seed: 0 }
+    }
+
+    /// Sets the sampling cap for large inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_sample_size(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "sample size must be positive");
+        self.sample_size = cap;
+        self
+    }
+
+    /// Seeds the sampling step (clustering itself is deterministic).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl CategoricalClusterer for Rock {
+    fn name(&self) -> &'static str {
+        "ROCK"
+    }
+
+    fn cluster(&self, table: &CategoricalTable, k: usize) -> Result<Clustering, BaselineError> {
+        validate_input(table, k)?;
+        let n = table.n_rows();
+
+        if n <= self.sample_size {
+            let labels = self.cluster_sample(table, &(0..n).collect::<Vec<_>>(), k)?;
+            let mut labels = labels;
+            let k_found = densify(&mut labels);
+            return Ok(Clustering { labels, k_found, iterations: n - k_found });
+        }
+
+        // Sample, cluster the sample, then label the rest by neighbour
+        // affinity to the formed clusters.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        let sample: Vec<usize> = indices[..self.sample_size].to_vec();
+        let sample_labels = self.cluster_sample(table, &sample, k)?;
+
+        let k_found = sample_labels.iter().copied().max().unwrap_or(0) + 1;
+        let mut labels = vec![usize::MAX; n];
+        for (s, &i) in sample.iter().enumerate() {
+            labels[i] = sample_labels[s];
+        }
+        // Affinity of an outside object to cluster C: fraction of C that are
+        // neighbours, normalized by the expected neighbour growth term.
+        let f = (1.0 - self.theta) / (1.0 + self.theta);
+        let mut sizes = vec![0usize; k_found];
+        for &l in &sample_labels {
+            sizes[l] += 1;
+        }
+        for i in 0..n {
+            if labels[i] != usize::MAX {
+                continue;
+            }
+            let row = table.row(i);
+            let mut neighbour_counts = vec![0usize; k_found];
+            for (s, &j) in sample.iter().enumerate() {
+                if jaccard_similarity(row, table.row(j)) >= self.theta {
+                    neighbour_counts[sample_labels[s]] += 1;
+                }
+            }
+            let best = (0..k_found)
+                .max_by(|&a, &b| {
+                    let ga = neighbour_counts[a] as f64 / (sizes[a] as f64 + 1.0).powf(f);
+                    let gb = neighbour_counts[b] as f64 / (sizes[b] as f64 + 1.0).powf(f);
+                    ga.partial_cmp(&gb).expect("finite goodness")
+                })
+                .expect("k_found >= 1");
+            labels[i] = best;
+        }
+        let k_final = densify(&mut labels);
+        Ok(Clustering { labels, k_found: k_final, iterations: self.sample_size - k_final })
+    }
+}
+
+impl Rock {
+    /// Agglomerates the given objects down to `k` clusters, returning one
+    /// label per sample position.
+    fn cluster_sample(
+        &self,
+        table: &CategoricalTable,
+        sample: &[usize],
+        k: usize,
+    ) -> Result<Vec<usize>, BaselineError> {
+        let s = sample.len();
+        if k > s {
+            return Err(BaselineError::InvalidK { k, n: s });
+        }
+        // Adjacency under the θ-neighbour relation.
+        let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); s];
+        for a in 0..s {
+            for b in (a + 1)..s {
+                if jaccard_similarity(table.row(sample[a]), table.row(sample[b])) >= self.theta {
+                    neighbours[a].push(b);
+                    neighbours[b].push(a);
+                }
+            }
+        }
+        // links[a][b] = number of common neighbours (computed via the
+        // standard "for each point, all neighbour pairs gain a link" sweep).
+        let mut links: Vec<std::collections::HashMap<usize, u32>> =
+            vec![std::collections::HashMap::new(); s];
+        for adjacency in &neighbours {
+            for (x, &a) in adjacency.iter().enumerate() {
+                for &b in &adjacency[x + 1..] {
+                    *links[a].entry(b).or_insert(0) += 1;
+                    *links[b].entry(a).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let f = (1.0 - self.theta) / (1.0 + self.theta);
+        let exponent = 1.0 + 2.0 * f;
+        let goodness = |links_ab: u32, na: usize, nb: usize| -> f64 {
+            let denom = ((na + nb) as f64).powf(exponent)
+                - (na as f64).powf(exponent)
+                - (nb as f64).powf(exponent);
+            links_ab as f64 / denom.max(f64::EPSILON)
+        };
+
+        // Greedy agglomeration. Cluster id = representative index.
+        let mut cluster_of: Vec<usize> = (0..s).collect();
+        let mut members: Vec<Vec<usize>> = (0..s).map(|i| vec![i]).collect();
+        let mut live: std::collections::BTreeSet<usize> = (0..s).collect();
+        // Inter-cluster links start as point links.
+        let mut cluster_links: Vec<std::collections::HashMap<usize, u32>> = links;
+
+        let mut n_clusters = s;
+        while n_clusters > k {
+            // Find the live pair with maximum goodness.
+            let mut best: Option<(usize, usize, f64)> = None;
+            for &a in &live {
+                for (&b, &l) in &cluster_links[a] {
+                    if b <= a || !live.contains(&b) || l == 0 {
+                        continue;
+                    }
+                    let g = goodness(l, members[a].len(), members[b].len());
+                    if best.is_none_or(|(_, _, bg)| g > bg) {
+                        best = Some((a, b, g));
+                    }
+                }
+            }
+            let Some((a, b, _)) = best else {
+                // Link graph exhausted before reaching k clusters. ROCK's
+                // outlier handling keeps the k largest clusters and attaches
+                // the leftovers to their most similar survivor; only a fully
+                // disconnected graph (no merge ever possible toward k
+                // populated clusters) is a genuine failure.
+                let mut survivors: Vec<usize> = live.iter().copied().collect();
+                survivors.sort_by_key(|&c| std::cmp::Reverse(members[c].len()));
+                let keep: Vec<usize> = survivors[..k].to_vec();
+                if keep.iter().all(|&c| members[c].len() <= 1) {
+                    return Err(BaselineError::FailedToFormK { k, found: n_clusters });
+                }
+                for &c in &survivors[k..] {
+                    for i in members[c].clone() {
+                        let target = *keep
+                            .iter()
+                            .max_by(|&&x, &&y| {
+                                let sx = exemplar_similarity(table, sample, i, &members[x]);
+                                let sy = exemplar_similarity(table, sample, i, &members[y]);
+                                sx.partial_cmp(&sy).expect("finite similarity")
+                            })
+                            .expect("k >= 1 survivors");
+                        cluster_of[i] = target;
+                    }
+                }
+                return Ok(cluster_of);
+            };
+            // Merge b into a.
+            let b_members = std::mem::take(&mut members[b]);
+            for &i in &b_members {
+                cluster_of[i] = a;
+            }
+            members[a].extend(b_members);
+            live.remove(&b);
+            let b_links = std::mem::take(&mut cluster_links[b]);
+            for (c, l) in b_links {
+                if c == a || !live.contains(&c) {
+                    continue;
+                }
+                *cluster_links[a].entry(c).or_insert(0) += l;
+                let into_c = cluster_links[c].remove(&b).unwrap_or(0);
+                debug_assert_eq!(into_c, l);
+                *cluster_links[c].entry(a).or_insert(0) += l;
+            }
+            cluster_links[a].remove(&b);
+            n_clusters -= 1;
+        }
+
+        Ok(cluster_of)
+    }
+}
+
+/// Mean Jaccard similarity between sample object `i` and a cluster's members
+/// (used only in the dry-link fallback, so the O(|cluster|) scan is fine).
+fn exemplar_similarity(
+    table: &CategoricalTable,
+    sample: &[usize],
+    i: usize,
+    members: &[usize],
+) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    members
+        .iter()
+        .map(|&j| jaccard_similarity(table.row(sample[i]), table.row(sample[j])))
+        .sum::<f64>()
+        / members.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use categorical_data::synth::GeneratorConfig;
+    use categorical_data::Dataset;
+
+    fn separated(n: usize, k: usize, seed: u64) -> Dataset {
+        GeneratorConfig::new("t", n, vec![4; 8], k).noise(0.03).generate(seed).dataset
+    }
+
+    #[test]
+    fn recovers_separated_clusters() {
+        let data = separated(150, 3, 1);
+        let result = Rock::new(0.4).cluster(data.table(), 3).unwrap();
+        let acc = cluster_eval::accuracy(data.labels(), &result.labels);
+        assert!(acc > 0.85, "acc={acc}");
+    }
+
+    #[test]
+    fn is_deterministic_without_sampling() {
+        let data = separated(100, 2, 2);
+        let rock = Rock::new(0.5);
+        assert_eq!(
+            rock.cluster(data.table(), 2).unwrap(),
+            rock.cluster(data.table(), 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn sampling_path_labels_everything() {
+        let data = separated(600, 2, 3);
+        let result = Rock::new(0.4).with_sample_size(200).cluster(data.table(), 2).unwrap();
+        assert_eq!(result.labels.len(), 600);
+        let acc = cluster_eval::accuracy(data.labels(), &result.labels);
+        assert!(acc > 0.8, "acc={acc}");
+    }
+
+    #[test]
+    fn fails_when_link_graph_is_too_sparse() {
+        // Objects pairwise-disjoint in values: no neighbours at any θ, so no
+        // merges can happen and k=1 is unreachable.
+        let mut table = CategoricalTable::new(categorical_data::Schema::uniform(2, 8));
+        for v in 0..8 {
+            table.push_row(&[v, v]).unwrap();
+        }
+        let err = Rock::new(0.5).cluster(&table, 1).unwrap_err();
+        assert!(matches!(err, BaselineError::FailedToFormK { k: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_theta() {
+        let result = std::panic::catch_unwind(|| Rock::new(0.0));
+        assert!(result.is_err());
+    }
+}

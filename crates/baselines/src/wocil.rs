@@ -1,0 +1,282 @@
+//! WOCIL-style subspace clustering (Jia & Cheung 2017): iterative
+//! object–cluster similarity clustering with per-cluster attribute weights
+//! and a deterministic density-based initialization.
+//!
+//! The reference system targets mixed data with an unknown cluster number;
+//! Table III hands every method the sought `k`, so this re-implementation
+//! (the original is closed source — DESIGN.md §3) keeps the two properties
+//! the paper leans on: per-cluster *subspace* attribute weighting, and a
+//! deterministic initialization that makes the method's Table III standard
+//! deviation exactly zero.
+
+use categorical_data::stats::entropy_from_counts;
+use categorical_data::{CategoricalTable, MISSING};
+
+use crate::{densify, hamming_distance, validate_input, BaselineError, CategoricalClusterer, Clustering};
+
+/// The WOCIL-style clusterer.
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::synth::GeneratorConfig;
+/// use mcdc_baselines::{CategoricalClusterer, Wocil};
+///
+/// let data = GeneratorConfig::new("demo", 90, vec![3; 5], 3)
+///     .noise(0.05)
+///     .generate(1)
+///     .dataset;
+/// let result = Wocil::new().cluster(data.table(), 3)?;
+/// assert_eq!(result.labels.len(), 90);
+/// # Ok::<(), mcdc_baselines::BaselineError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Wocil {
+    max_iterations: usize,
+}
+
+impl Wocil {
+    /// Creates a WOCIL clusterer with a 100-iteration cap.
+    pub fn new() -> Self {
+        Wocil { max_iterations: 100 }
+    }
+
+    /// Caps the assign/update iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_max_iterations(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "max_iterations must be positive");
+        self.max_iterations = cap;
+        self
+    }
+}
+
+/// Deterministic density-distance seeding: the first seed is the object with
+/// the most near-duplicates; each further seed maximizes
+/// `density(i) · min_distance_to_chosen(i)` (a deterministic analogue of
+/// k-means++ used for WOCIL's "very stable initialization").
+fn density_seeds(table: &CategoricalTable, k: usize) -> Vec<usize> {
+    let n = table.n_rows();
+    let d = table.n_features();
+    // Density via per-feature frequency mass (O(nd), no pairwise sweep).
+    let mut frequencies: Vec<Vec<u32>> = (0..d)
+        .map(|r| vec![0u32; table.schema().domain(r).cardinality() as usize])
+        .collect();
+    for row in table.rows() {
+        for (r, &v) in row.iter().enumerate() {
+            if v != MISSING {
+                frequencies[r][v as usize] += 1;
+            }
+        }
+    }
+    let density: Vec<f64> = (0..n)
+        .map(|i| {
+            table
+                .row(i)
+                .iter()
+                .enumerate()
+                .map(|(r, &v)| if v == MISSING { 0.0 } else { frequencies[r][v as usize] as f64 })
+                .sum::<f64>()
+                / (n as f64 * d as f64)
+        })
+        .collect();
+
+    let mut seeds = Vec::with_capacity(k);
+    let first = (0..n)
+        .max_by(|&a, &b| density[a].partial_cmp(&density[b]).expect("finite"))
+        .expect("n >= 1");
+    seeds.push(first);
+    while seeds.len() < k {
+        let next = (0..n)
+            .filter(|i| !seeds.contains(i))
+            .max_by(|&a, &b| {
+                let da = score(table, &seeds, a, &density);
+                let db = score(table, &seeds, b, &density);
+                da.partial_cmp(&db).expect("finite")
+            })
+            .expect("k <= n leaves candidates");
+        seeds.push(next);
+    }
+    seeds
+}
+
+fn score(table: &CategoricalTable, seeds: &[usize], i: usize, density: &[f64]) -> f64 {
+    let min_dist = seeds
+        .iter()
+        .map(|&s| hamming_distance(table.row(i), table.row(s)))
+        .min()
+        .unwrap_or(0) as f64;
+    density[i] * min_dist
+}
+
+impl CategoricalClusterer for Wocil {
+    fn name(&self) -> &'static str {
+        "WOCIL"
+    }
+
+    fn cluster(&self, table: &CategoricalTable, k: usize) -> Result<Clustering, BaselineError> {
+        validate_input(table, k)?;
+        let n = table.n_rows();
+        let d = table.n_features();
+
+        let seeds = density_seeds(table, k);
+        // Cluster value-count tables (the subspace statistics).
+        let mut counts: Vec<Vec<Vec<u32>>> = (0..k)
+            .map(|_| {
+                (0..d)
+                    .map(|r| vec![0u32; table.schema().domain(r).cardinality() as usize])
+                    .collect()
+            })
+            .collect();
+        let mut sizes = vec![0usize; k];
+        let mut labels = vec![usize::MAX; n];
+        for (l, &i) in seeds.iter().enumerate() {
+            assign(table, i, l, &mut counts, &mut sizes, &mut labels);
+        }
+        // Per-cluster attribute weights from within-cluster value entropy:
+        // concentrated features get high weight (the subspace).
+        let mut weights = vec![vec![1.0 / d as f64; d]; k];
+        let mut iterations = 0;
+
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            let mut changed = false;
+            for i in 0..n {
+                let row = table.row(i);
+                let mut best = 0usize;
+                let mut best_sim = f64::NEG_INFINITY;
+                for l in 0..k {
+                    if sizes[l] == 0 {
+                        continue;
+                    }
+                    let sim: f64 = row
+                        .iter()
+                        .enumerate()
+                        .map(|(r, &v)| {
+                            if v == MISSING {
+                                return 0.0;
+                            }
+                            weights[l][r] * counts[l][r][v as usize] as f64 / sizes[l] as f64
+                        })
+                        .sum();
+                    if sim > best_sim {
+                        best_sim = sim;
+                        best = l;
+                    }
+                }
+                if labels[i] != best {
+                    if labels[i] != usize::MAX {
+                        unassign(table, i, labels[i], &mut counts, &mut sizes);
+                    }
+                    assign(table, i, best, &mut counts, &mut sizes, &mut labels);
+                    changed = true;
+                }
+            }
+
+            // Refresh subspace weights: w_rl ∝ exp(−H_rl).
+            for l in 0..k {
+                if sizes[l] == 0 {
+                    continue;
+                }
+                let mut total = 0.0;
+                for r in 0..d {
+                    let h = entropy_from_counts(counts[l][r].iter().map(|&c| c as u64));
+                    weights[l][r] = (-h).exp();
+                    total += weights[l][r];
+                }
+                for w in weights[l].iter_mut() {
+                    *w /= total;
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        let k_found = densify(&mut labels);
+        if k_found < k {
+            return Err(BaselineError::FailedToFormK { k, found: k_found });
+        }
+        Ok(Clustering { labels, k_found, iterations })
+    }
+}
+
+fn assign(
+    table: &CategoricalTable,
+    i: usize,
+    l: usize,
+    counts: &mut [Vec<Vec<u32>>],
+    sizes: &mut [usize],
+    labels: &mut [usize],
+) {
+    for (r, &v) in table.row(i).iter().enumerate() {
+        if v != MISSING {
+            counts[l][r][v as usize] += 1;
+        }
+    }
+    sizes[l] += 1;
+    labels[i] = l;
+}
+
+fn unassign(
+    table: &CategoricalTable,
+    i: usize,
+    l: usize,
+    counts: &mut [Vec<Vec<u32>>],
+    sizes: &mut [usize],
+) {
+    for (r, &v) in table.row(i).iter().enumerate() {
+        if v != MISSING {
+            counts[l][r][v as usize] -= 1;
+        }
+    }
+    sizes[l] -= 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use categorical_data::synth::GeneratorConfig;
+    use categorical_data::Dataset;
+
+    fn separated(n: usize, k: usize, seed: u64) -> Dataset {
+        GeneratorConfig::new("t", n, vec![4; 8], k).noise(0.05).generate(seed).dataset
+    }
+
+    #[test]
+    fn recovers_separated_clusters() {
+        let data = separated(240, 3, 1);
+        let result = Wocil::new().cluster(data.table(), 3).unwrap();
+        let acc = cluster_eval::accuracy(data.labels(), &result.labels);
+        assert!(acc > 0.9, "acc={acc}");
+    }
+
+    #[test]
+    fn is_fully_deterministic() {
+        // No RNG anywhere: byte-identical runs (the paper's σ = 0 rows).
+        let data = separated(150, 2, 2);
+        let wocil = Wocil::new();
+        assert_eq!(
+            wocil.cluster(data.table(), 2).unwrap(),
+            wocil.cluster(data.table(), 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn density_seeds_are_distinct() {
+        let data = separated(60, 3, 3);
+        let seeds = density_seeds(data.table(), 5);
+        let set: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn rejects_invalid_k() {
+        let data = separated(10, 2, 4);
+        assert!(Wocil::new().cluster(data.table(), 0).is_err());
+        assert!(Wocil::new().cluster(data.table(), 11).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests: every baseline yields a valid labeling (or a clean
+//! failure) on arbitrary categorical data.
+
+use categorical_data::{CategoricalTable, Schema};
+use mcdc_baselines::{
+    Adc, BaselineError, CategoricalClusterer, Fkmawcw, Gudmm, KModes, Linkage, LinkageMethod,
+    Rock, Wocil,
+};
+use proptest::prelude::*;
+
+fn arbitrary_table() -> impl Strategy<Value = CategoricalTable> {
+    (5usize..40, 1usize..6).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(proptest::collection::vec(0u32..3, d), n).prop_map(
+            move |rows| {
+                CategoricalTable::from_rows(Schema::uniform(d, 3), rows.iter().map(Vec::as_slice))
+                    .expect("rows are schema-valid")
+            },
+        )
+    })
+}
+
+fn check(clusterer: &dyn CategoricalClusterer, table: &CategoricalTable, k: usize) -> Result<(), TestCaseError> {
+    match clusterer.cluster(table, k) {
+        Ok(result) => {
+            prop_assert_eq!(result.labels.len(), table.n_rows(), "{}", clusterer.name());
+            prop_assert!(result.k_found <= k, "{}", clusterer.name());
+            prop_assert!(
+                result.labels.iter().all(|&l| l < result.k_found),
+                "{}: labels must be dense",
+                clusterer.name()
+            );
+        }
+        Err(BaselineError::FailedToFormK { found, .. }) => {
+            // Partitional methods fail by collapsing below k; link-based
+            // agglomeration (ROCK) fails when the graph dries up above k.
+            prop_assert!(found != k, "{}", clusterer.name());
+        }
+        Err(e) => prop_assert!(false, "{}: unexpected error {e}", clusterer.name()),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partitional_methods_yield_valid_labelings(table in arbitrary_table(), k in 1usize..5) {
+        prop_assume!(k <= table.n_rows());
+        check(&KModes::new(1), &table, k)?;
+        check(&Wocil::new(), &table, k)?;
+        check(&Fkmawcw::new(1), &table, k)?;
+    }
+
+    #[test]
+    fn metric_methods_yield_valid_labelings(table in arbitrary_table(), k in 1usize..4) {
+        prop_assume!(k <= table.n_rows());
+        check(&Gudmm::new(1), &table, k)?;
+        check(&Adc::new(1), &table, k)?;
+    }
+
+    #[test]
+    fn hierarchical_methods_yield_valid_labelings(table in arbitrary_table(), k in 1usize..4) {
+        prop_assume!(k <= table.n_rows());
+        check(&Linkage::new(LinkageMethod::Average), &table, k)?;
+        check(&Rock::new(0.5), &table, k)?;
+    }
+}

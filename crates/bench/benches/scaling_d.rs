@@ -1,0 +1,24 @@
+//! Criterion companion to Fig. 6(c): MCDC execution time versus feature
+//! count d (Syn_d family, n = 2000, k* = 3). The claim under test is linear
+//! growth in d.
+
+use categorical_data::synth::scaling;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcdc_core::Mcdc;
+
+fn bench_scaling_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6c_mcdc_vs_d");
+    group.sample_size(10);
+    for d in [20usize, 40, 80] {
+        let data = scaling::custom(format!("d{d}"), 2_000, d, 3, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &data, |b, data| {
+            b.iter(|| {
+                Mcdc::builder().seed(1).build().fit(data.table(), 3).expect("fit succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_d);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion companion to Fig. 6(b): CAME/MCDC execution time versus the
+//! sought number of clusters k (Syn_n family, n = 5000, d = 10). The claim
+//! under test is linear growth in k.
+
+use categorical_data::synth::scaling;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcdc_core::Mcdc;
+
+fn bench_scaling_k(c: &mut Criterion) {
+    let data = scaling::syn_n(5_000, 7);
+    let mut group = c.benchmark_group("fig6b_mcdc_vs_k");
+    group.sample_size(10);
+    for k in [10usize, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                Mcdc::builder().seed(1).build().fit(data.table(), k).expect("fit succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_k);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion companion to Fig. 6(a): MCDC execution time versus data size n
+//! (d = 10, k* = 3, well-separated Syn_n family). The claim under test is
+//! linear growth — each doubling of n should roughly double the time.
+
+use categorical_data::synth::scaling;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcdc_core::Mcdc;
+
+fn bench_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_mcdc_vs_n");
+    group.sample_size(10);
+    for n in [2_000usize, 4_000, 8_000] {
+        let data = scaling::syn_n(n, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                Mcdc::builder().seed(1).build().fit(data.table(), 3).expect("fit succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_n);
+criterion_main!(benches);

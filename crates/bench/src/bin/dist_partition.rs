@@ -1,0 +1,75 @@
+//! E9 — validates the paper's §III-D distributed-computing claims: MCDC's
+//! multi-granular clusters pre-partition data onto workers with high
+//! locality at comparable balance, against a structure-oblivious
+//! round-robin baseline.
+//!
+//! Usage: `dist_partition [--workers N] [--seed N]`
+
+use categorical_data::synth::GeneratorConfig;
+use mcdc_core::Mgcpl;
+use mcdc_dist_sim::{round_robin, GranularPartitioner, SimulatedCluster, WorkItem};
+
+fn main() {
+    let args = Args::parse();
+    let data = GeneratorConfig::new("dist-demo", 6000, vec![4; 10], 6)
+        .subclusters(3)
+        .shared_fraction(0.7)
+        .noise(0.08)
+        .generate(args.seed)
+        .dataset;
+    let granular = Mgcpl::builder()
+        .seed(args.seed)
+        .build()
+        .fit(data.table())
+        .expect("demo data is non-empty");
+    println!(
+        "MGCPL granularities: kappa = {:?} (n = {}, workers = {})",
+        granular.kappa,
+        data.n_rows(),
+        args.workers
+    );
+
+    let items: Vec<WorkItem> = granular
+        .coarsest()
+        .iter()
+        .map(|&c| WorkItem { cost: 1, coarse_cluster: c })
+        .collect();
+
+    let ours = GranularPartitioner::new(args.workers).place(&granular);
+    let baseline = round_robin(data.n_rows(), args.workers);
+
+    println!("\n{:<14} {:>10} {:>10} {:>14} {:>12}", "placement", "balance", "locality", "split-micro", "cross-msgs");
+    for (name, placement) in [("multi-granular", &ours), ("round-robin", &baseline)] {
+        let report = GranularPartitioner::evaluate(placement, &granular);
+        let stats = SimulatedCluster::new().run(placement, &items);
+        println!(
+            "{name:<14} {:>10.3} {:>10.3} {:>14} {:>12}",
+            report.balance_factor, report.locality, report.split_micro_clusters,
+            stats.cross_worker_messages
+        );
+    }
+    println!("\nHigher locality and fewer cross-worker messages at comparable balance");
+    println!("demonstrate the pre-partitioning benefit claimed in Section III-D.");
+}
+
+struct Args {
+    workers: usize,
+    seed: u64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args { workers: 8, seed: 7 };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--workers" => {
+                    args.workers = it.next().expect("--workers N").parse().expect("numeric")
+                }
+                "--seed" => args.seed = it.next().expect("--seed N").parse().expect("numeric"),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        args
+    }
+}

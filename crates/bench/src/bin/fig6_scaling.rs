@@ -1,0 +1,160 @@
+//! E6–E8 — regenerates Fig. 6: execution time of MCDC and representative
+//! counterparts on the synthetic sets, sweeping (a) data size `n`,
+//! (b) sought cluster number `k`, and (c) feature count `d`. The claim under
+//! test is the *linear* growth of MCDC in all three (Section III-C), not the
+//! absolute seconds of the authors' testbed.
+//!
+//! Usage: `fig6_scaling [n|k|d|all] [--full] [--seed N]`
+//!
+//! Default sweeps are laptop-sized; `--full` restores the paper's ranges
+//! (n → 200 000, k → 5 000, d → 1 000).
+
+use std::time::Instant;
+
+use categorical_data::synth::scaling;
+use categorical_data::Dataset;
+use mcdc_baselines::{CategoricalClusterer, KModes, Linkage, LinkageMethod, Wocil};
+use mcdc_core::Mcdc;
+
+fn main() {
+    let args = Args::parse();
+    match args.axis.as_str() {
+        "n" => sweep_n(&args),
+        "k" => sweep_k(&args),
+        "d" => sweep_d(&args),
+        "all" => {
+            sweep_n(&args);
+            sweep_k(&args);
+            sweep_d(&args);
+        }
+        other => panic!("unknown axis {other:?}; use n, k, d, or all"),
+    }
+}
+
+/// A named timing runner: clusters the data set seeking `k`, returns seconds.
+type TimedMethod = (&'static str, Box<dyn Fn(&Dataset, usize) -> f64>);
+
+fn methods() -> Vec<TimedMethod> {
+    vec![
+        (
+            "MCDC",
+            Box::new(|ds: &Dataset, k: usize| {
+                time(|| {
+                    Mcdc::builder().seed(1).build().fit(ds.table(), k).expect("fit succeeds");
+                })
+            }),
+        ),
+        (
+            "K-MODES",
+            Box::new(|ds: &Dataset, k: usize| {
+                time(|| {
+                    let _ = KModes::new(1).cluster(ds.table(), k);
+                })
+            }),
+        ),
+        (
+            "WOCIL",
+            Box::new(|ds: &Dataset, k: usize| {
+                time(|| {
+                    let _ = Wocil::new().cluster(ds.table(), k);
+                })
+            }),
+        ),
+        (
+            "AVG-LINK",
+            Box::new(|ds: &Dataset, k: usize| {
+                time(|| {
+                    let _ = Linkage::new(LinkageMethod::Average)
+                        .with_sample_size(1000)
+                        .cluster(ds.table(), k);
+                })
+            }),
+        ),
+    ]
+}
+
+fn time(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+fn print_header() {
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "x", "MCDC", "K-MODES", "WOCIL", "AVG-LINK"
+    );
+}
+
+fn sweep_n(args: &Args) {
+    let sizes: Vec<usize> = if args.full {
+        (1..=10).map(|i| i * 20_000).collect()
+    } else {
+        (1..=5).map(|i| i * 10_000).collect()
+    };
+    println!("\nFig. 6(a): execution time (s) on Syn_n w.r.t. n (d=10, k=3)");
+    print_header();
+    for n in sizes {
+        let ds = scaling::syn_n(n, args.seed);
+        let row: Vec<f64> = methods().iter().map(|(_, run)| run(&ds, 3)).collect();
+        print_row(n, &row);
+    }
+}
+
+fn sweep_k(args: &Args) {
+    // Sought k handed to CAME/Alg. 2; the paper sweeps 500..5000 on Syn_n.
+    let (n, ks): (usize, Vec<usize>) = if args.full {
+        (200_000, (1..=10).map(|i| i * 500).collect())
+    } else {
+        (20_000, (1..=5).map(|i| i * 100).collect())
+    };
+    println!("\nFig. 6(b): execution time (s) on Syn_n w.r.t. sought k (n={n}, d=10)");
+    print_header();
+    let ds = scaling::syn_n(n, args.seed);
+    for k in ks {
+        let row: Vec<f64> = methods().iter().map(|(_, run)| run(&ds, k)).collect();
+        print_row(k, &row);
+    }
+}
+
+fn sweep_d(args: &Args) {
+    let ds_sizes: Vec<usize> = if args.full {
+        (1..=10).map(|i| i * 100).collect()
+    } else {
+        (1..=5).map(|i| i * 40).collect()
+    };
+    println!("\nFig. 6(c): execution time (s) on Syn_d w.r.t. d (n=20000, k=3)");
+    print_header();
+    for d in ds_sizes {
+        let ds = scaling::syn_d(d, args.seed);
+        let row: Vec<f64> = methods().iter().map(|(_, run)| run(&ds, 3)).collect();
+        print_row(d, &row);
+    }
+}
+
+fn print_row(x: usize, times: &[f64]) {
+    let cells: Vec<String> = times.iter().map(|t| format!("{t:>10.3}")).collect();
+    println!("{x:<10} {}", cells.join(" "));
+}
+
+struct Args {
+    axis: String,
+    full: bool,
+    seed: u64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args { axis: "all".to_owned(), full: false, seed: 7 };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "n" | "k" | "d" | "all" => args.axis = flag,
+                "--full" => args.full = true,
+                "--seed" => args.seed = it.next().expect("--seed N").parse().expect("numeric"),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        args
+    }
+}

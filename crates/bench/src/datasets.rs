@@ -1,0 +1,70 @@
+//! The Table II evaluation data sets.
+//!
+//! When a data directory containing the real UCI files is supplied (as
+//! `<dir>/<abbrev-without-dot>.csv`, e.g. `data/mus.csv`, label in the last
+//! column), those are loaded; otherwise the calibrated synthetic stand-ins
+//! of [`categorical_data::synth::uci`] are generated (DESIGN.md §3).
+
+use std::path::Path;
+
+use categorical_data::io::{read_csv, CsvOptions};
+use categorical_data::synth::uci;
+use categorical_data::Dataset;
+
+/// Loads or generates all eight Table II data sets, in table order.
+///
+/// `seed` parameterizes the synthetic stand-ins; real files (when found in
+/// `data_dir`) are returned as-is.
+pub fn table_ii(seed: u64, data_dir: Option<&Path>) -> Vec<Dataset> {
+    uci::ALL
+        .iter()
+        .map(|profile| {
+            if let Some(dir) = data_dir {
+                let stem = profile.abbrev.trim_end_matches('.').to_ascii_lowercase();
+                for ext in ["csv", "data"] {
+                    let path = dir.join(format!("{stem}.{ext}"));
+                    if path.exists() {
+                        if let Ok(ds) = read_csv(&path, &CsvOptions::default()) {
+                            return ds;
+                        }
+                    }
+                }
+            }
+            profile.generate_dataset(seed)
+        })
+        .collect()
+}
+
+/// Abbreviated names in Table II order (`Car.`, `Con.`, …).
+pub fn abbrevs() -> Vec<&'static str> {
+    uci::ALL.iter().map(|p| p.abbrev).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stand_ins_cover_all_eight() {
+        let sets = table_ii(3, None);
+        assert_eq!(sets.len(), 8);
+        assert_eq!(sets[3].name(), "Mushroom");
+        assert_eq!(sets[3].n_rows(), 8124);
+    }
+
+    #[test]
+    fn missing_data_dir_falls_back_to_synthetic() {
+        let sets = table_ii(3, Some(Path::new("/nonexistent")));
+        assert_eq!(sets.len(), 8);
+    }
+
+    #[test]
+    fn real_files_take_precedence() {
+        let dir = std::env::temp_dir().join("mcdc-bench-data-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("car.csv"), "a,x,c0\nb,y,c1\na,y,c0\nb,x,c1\n").unwrap();
+        let sets = table_ii(3, Some(&dir));
+        assert_eq!(sets[0].n_rows(), 4, "car should load from the real file");
+        assert_eq!(sets[1].n_rows(), 435, "con still synthetic");
+    }
+}

@@ -1,0 +1,158 @@
+//! Multi-run experiment sweeps with the paper's scoring conventions.
+
+use categorical_data::Dataset;
+use rayon::prelude::*;
+
+use crate::Method;
+
+/// The four validity indices of Table III for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Scores {
+    /// Clustering Accuracy.
+    pub acc: f64,
+    /// Adjusted Rand Index.
+    pub ari: f64,
+    /// Adjusted Mutual Information.
+    pub ami: f64,
+    /// Fowlkes–Mallows score.
+    pub fm: f64,
+}
+
+impl Scores {
+    /// Evaluates a prediction against ground truth on all four indices.
+    pub fn evaluate(truth: &[usize], predicted: &[usize]) -> Scores {
+        Scores {
+            acc: cluster_eval::accuracy(truth, predicted),
+            ari: cluster_eval::adjusted_rand_index(truth, predicted),
+            ami: cluster_eval::adjusted_mutual_information(truth, predicted),
+            fm: cluster_eval::fowlkes_mallows(truth, predicted),
+        }
+    }
+
+    /// Index accessor by Table III row-group name (`"ACC"`, `"ARI"`,
+    /// `"AMI"`, `"FM"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown index name.
+    pub fn get(&self, index: &str) -> f64 {
+        match index {
+            "ACC" => self.acc,
+            "ARI" => self.ari,
+            "AMI" => self.ami,
+            "FM" => self.fm,
+            other => panic!("unknown validity index {other:?}"),
+        }
+    }
+}
+
+/// The four index names in Table III order.
+pub const INDICES: [&str; 4] = ["ACC", "ARI", "AMI", "FM"];
+
+/// Mean ± std summary of one method on one data set.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MethodSummary {
+    /// Mean scores over the runs (failed runs score 0.000, as in the paper).
+    pub mean: Scores,
+    /// Standard deviation of the scores over the runs.
+    pub std: Scores,
+    /// How many of the runs failed to deliver `k` clusters.
+    pub failures: usize,
+    /// Number of runs executed.
+    pub runs: usize,
+}
+
+/// Runs `method` on `dataset` `runs` times (seeds `base_seed..base_seed+runs`)
+/// and summarizes. Runs execute in parallel; deterministic methods are run
+/// once and replicated, mirroring the paper's ±0.00 rows.
+pub fn run_method(method: Method, dataset: &Dataset, runs: usize, base_seed: u64) -> MethodSummary {
+    assert!(runs > 0, "need at least one run");
+    let k = dataset.k_true();
+    let effective_runs = if method.is_deterministic() { 1 } else { runs };
+    let results: Vec<Option<Scores>> = (0..effective_runs)
+        .into_par_iter()
+        .map(|r| {
+            method
+                .run(dataset.table(), k, base_seed + r as u64)
+                .ok()
+                .map(|labels| Scores::evaluate(dataset.labels(), &labels))
+        })
+        .collect();
+    let results = if method.is_deterministic() {
+        vec![results[0]; runs]
+    } else {
+        results
+    };
+    summarize(&results)
+}
+
+fn summarize(results: &[Option<Scores>]) -> MethodSummary {
+    let runs = results.len();
+    let failures = results.iter().filter(|r| r.is_none()).count();
+    let scored: Vec<Scores> = results.iter().map(|r| r.unwrap_or_default()).collect();
+    let mean = Scores {
+        acc: scored.iter().map(|s| s.acc).sum::<f64>() / runs as f64,
+        ari: scored.iter().map(|s| s.ari).sum::<f64>() / runs as f64,
+        ami: scored.iter().map(|s| s.ami).sum::<f64>() / runs as f64,
+        fm: scored.iter().map(|s| s.fm).sum::<f64>() / runs as f64,
+    };
+    let var = |f: fn(&Scores) -> f64, mu: f64| -> f64 {
+        (scored.iter().map(|s| (f(s) - mu).powi(2)).sum::<f64>() / runs as f64).sqrt()
+    };
+    let std = Scores {
+        acc: var(|s| s.acc, mean.acc),
+        ari: var(|s| s.ari, mean.ari),
+        ami: var(|s| s.ami, mean.ami),
+        fm: var(|s| s.fm, mean.fm),
+    };
+    MethodSummary { mean, std, failures, runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use categorical_data::synth::GeneratorConfig;
+
+    fn easy() -> Dataset {
+        GeneratorConfig::new("t", 100, vec![4; 6], 2).noise(0.05).generate(1).dataset
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one_everywhere() {
+        let data = easy();
+        let s = Scores::evaluate(data.labels(), data.labels());
+        assert_eq!((s.acc, s.ari, s.fm), (1.0, 1.0, 1.0));
+        assert!((s.ami - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_counts_failures_as_zero() {
+        let results = vec![Some(Scores { acc: 1.0, ari: 1.0, ami: 1.0, fm: 1.0 }), None];
+        let summary = summarize(&results);
+        assert_eq!(summary.failures, 1);
+        assert!((summary.mean.acc - 0.5).abs() < 1e-12);
+        assert!((summary.std.acc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_methods_have_zero_std() {
+        let data = easy();
+        let summary = run_method(Method::Wocil, &data, 5, 0);
+        assert_eq!(summary.std.acc, 0.0);
+        assert_eq!(summary.runs, 5);
+    }
+
+    #[test]
+    fn kmodes_sweep_scores_high_on_easy_data() {
+        let data = easy();
+        let summary = run_method(Method::KModes, &data, 3, 0);
+        assert!(summary.mean.acc > 0.8, "acc={}", summary.mean.acc);
+    }
+
+    #[test]
+    fn scores_get_by_name() {
+        let s = Scores { acc: 0.1, ari: 0.2, ami: 0.3, fm: 0.4 };
+        assert_eq!(s.get("ACC"), 0.1);
+        assert_eq!(s.get("FM"), 0.4);
+    }
+}

@@ -1,0 +1,130 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{CategoricalTable, DataError};
+
+/// A categorical table paired with ground-truth cluster labels, used by the
+/// evaluation experiments (labels are never shown to the clusterers).
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::{CategoricalTable, Dataset, Schema};
+///
+/// let mut table = CategoricalTable::new(Schema::uniform(1, 2));
+/// table.push_row(&[0])?;
+/// table.push_row(&[1])?;
+/// let ds = Dataset::new("toy", table, vec![0, 1])?;
+/// assert_eq!(ds.k_true(), 2);
+/// # Ok::<(), categorical_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    table: CategoricalTable,
+    labels: Vec<usize>,
+    k_true: usize,
+}
+
+impl Dataset {
+    /// Pairs `table` with ground-truth `labels`.
+    ///
+    /// The true number of clusters `k*` is the number of distinct labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::RowArity`] if `labels.len() != table.n_rows()`.
+    pub fn new(
+        name: impl Into<String>,
+        table: CategoricalTable,
+        labels: Vec<usize>,
+    ) -> Result<Self, DataError> {
+        if labels.len() != table.n_rows() {
+            return Err(DataError::RowArity { expected: table.n_rows(), found: labels.len() });
+        }
+        let mut distinct: Vec<usize> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        Ok(Dataset { name: name.into(), table, labels, k_true: distinct.len() })
+    }
+
+    /// The data set's display name (e.g. `"Mushroom"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The unlabeled data.
+    pub fn table(&self) -> &CategoricalTable {
+        &self.table
+    }
+
+    /// Ground-truth labels, one per row.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The true number of clusters `k*` (Table II).
+    pub fn k_true(&self) -> usize {
+        self.k_true
+    }
+
+    /// Number of objects `n`.
+    pub fn n_rows(&self) -> usize {
+        self.table.n_rows()
+    }
+
+    /// Number of features `d`.
+    pub fn n_features(&self) -> usize {
+        self.table.n_features()
+    }
+
+    /// Decomposes into `(table, labels)`.
+    pub fn into_parts(self) -> (CategoricalTable, Vec<usize>) {
+        (self.table, self.labels)
+    }
+
+    /// Returns a copy restricted to the given row indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Dataset {
+        let table = self.table.select_rows(indices);
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset::new(self.name.clone(), table, labels)
+            .expect("selection preserves row/label pairing")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    #[test]
+    fn k_true_counts_distinct_labels() {
+        let mut t = CategoricalTable::new(Schema::uniform(1, 3));
+        for v in 0..3 {
+            t.push_row(&[v]).unwrap();
+        }
+        let ds = Dataset::new("x", t, vec![5, 5, 9]).unwrap();
+        assert_eq!(ds.k_true(), 2);
+    }
+
+    #[test]
+    fn mismatched_labels_rejected() {
+        let t = CategoricalTable::new(Schema::uniform(1, 3));
+        assert!(Dataset::new("x", t, vec![0]).is_err());
+    }
+
+    #[test]
+    fn select_rows_keeps_pairing() {
+        let mut t = CategoricalTable::new(Schema::uniform(1, 4));
+        for v in 0..4 {
+            t.push_row(&[v]).unwrap();
+        }
+        let ds = Dataset::new("x", t, vec![0, 0, 1, 1]).unwrap();
+        let sub = ds.select_rows(&[3, 0]);
+        assert_eq!(sub.labels(), &[1, 0]);
+        assert_eq!(sub.table().row(0), &[3]);
+    }
+}

@@ -1,0 +1,338 @@
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::{CategoricalTable, DataError, Dataset, FeatureDomain, Schema, MISSING};
+
+/// Which column carries the ground-truth class label.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LabelColumn {
+    /// No label column — produces an unlabeled table wrapped in a dataset
+    /// with a single pseudo-class.
+    #[default]
+    None,
+    /// The first column is the class label.
+    First,
+    /// The last column is the class label (the UCI convention).
+    Last,
+    /// A 0-based column index is the class label.
+    Index(usize),
+}
+
+/// Options controlling [`read_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvOptions {
+    /// Field delimiter; `,` by default.
+    pub delimiter: char,
+    /// Whether the first record is a header of feature names.
+    pub has_header: bool,
+    /// Which column (if any) holds the class label.
+    pub label: LabelColumn,
+    /// Tokens treated as missing values (UCI uses `?`).
+    pub missing_tokens: Vec<String>,
+    /// Drop rows containing missing values, as the paper's preprocessing does.
+    pub drop_missing: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: false,
+            label: LabelColumn::Last,
+            missing_tokens: vec!["?".to_owned(), "".to_owned()],
+            drop_missing: true,
+        }
+    }
+}
+
+/// Reads a delimiter-separated categorical data file from `path`.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] if the file cannot be read and
+/// [`DataError::Parse`] / [`DataError::RowArity`] on malformed content.
+///
+/// # Example
+///
+/// ```no_run
+/// use categorical_data::io::{read_csv, CsvOptions};
+///
+/// let ds = read_csv("data/mushroom.data", &CsvOptions::default())?;
+/// println!("{} objects, {} features", ds.n_rows(), ds.n_features());
+/// # Ok::<(), categorical_data::DataError>(())
+/// ```
+pub fn read_csv(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Dataset, DataError> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path)?;
+    let name = path.file_stem().map_or_else(|| "csv".to_owned(), |s| s.to_string_lossy().into_owned());
+    read_csv_named(&name, &text, options)
+}
+
+/// Reads a delimiter-separated categorical data set from a string.
+///
+/// # Errors
+///
+/// Same conditions as [`read_csv`], minus IO.
+pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<Dataset, DataError> {
+    read_csv_named("csv", text, options)
+}
+
+fn read_csv_named(name: &str, text: &str, options: &CsvOptions) -> Result<Dataset, DataError> {
+    let mut records = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push((line_no + 1, split_record(line, options.delimiter, line_no + 1)?));
+    }
+    if records.is_empty() {
+        return Err(DataError::EmptyTable);
+    }
+
+    let header: Option<Vec<String>> = if options.has_header {
+        Some(records.remove(0).1)
+    } else {
+        None
+    };
+    if records.is_empty() {
+        return Err(DataError::EmptyTable);
+    }
+
+    let width = records[0].1.len();
+    let label_idx = match options.label {
+        LabelColumn::None => None,
+        LabelColumn::First => Some(0),
+        LabelColumn::Last => Some(width - 1),
+        LabelColumn::Index(i) => Some(i),
+    };
+    if let Some(i) = label_idx {
+        if i >= width {
+            return Err(DataError::Parse {
+                line: records[0].0,
+                message: format!("label column {i} out of range for {width}-field records"),
+            });
+        }
+    }
+
+    let d = if label_idx.is_some() { width - 1 } else { width };
+    let mut domains: Vec<FeatureDomain> = (0..d)
+        .map(|r| {
+            let fallback = format!("f{r}");
+            let feature_name = header
+                .as_ref()
+                .map(|h| {
+                    // Header indices must skip the label column like data rows do.
+                    let mut cols: Vec<&String> = h.iter().collect();
+                    if let Some(i) = label_idx {
+                        if i < cols.len() {
+                            cols.remove(i);
+                        }
+                    }
+                    cols.get(r).map_or(fallback.clone(), |s| (*s).clone())
+                })
+                .unwrap_or(fallback);
+            FeatureDomain::new(feature_name)
+        })
+        .collect();
+
+    let mut label_domain = FeatureDomain::new("class");
+    let mut codes: Vec<u32> = Vec::with_capacity(records.len() * d);
+    let mut labels: Vec<usize> = Vec::with_capacity(records.len());
+    let mut n_rows = 0usize;
+
+    'rows: for (line_no, fields) in &records {
+        if fields.len() != width {
+            return Err(DataError::Parse {
+                line: *line_no,
+                message: format!("expected {width} fields, found {}", fields.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(d);
+        let mut r = 0usize;
+        let mut label_value = 0usize;
+        for (col, field) in fields.iter().enumerate() {
+            let field = field.trim();
+            if Some(col) == label_idx {
+                label_value = label_domain.intern(field) as usize;
+                continue;
+            }
+            if options.missing_tokens.iter().any(|t| t == field) {
+                if options.drop_missing {
+                    continue 'rows;
+                }
+                row.push(MISSING);
+            } else {
+                row.push(domains[r].intern(field));
+            }
+            r += 1;
+        }
+        codes.extend_from_slice(&row);
+        labels.push(label_value);
+        n_rows += 1;
+    }
+    let _ = n_rows;
+
+    let schema = Schema::new(domains);
+    let table = CategoricalTable::from_flat(schema, codes)?;
+    Dataset::new(name, table, labels)
+}
+
+/// Splits one CSV record, honouring double-quoted fields with `""` escapes.
+fn split_record(line: &str, delimiter: char, line_no: usize) -> Result<Vec<String>, DataError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut field));
+        } else {
+            field.push(c);
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Parse { line: line_no, message: "unterminated quoted field".into() });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Writes `dataset` as CSV with the class label in the last column.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] if the file cannot be written.
+pub fn write_csv(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), DataError> {
+    let mut out = fs::File::create(path)?;
+    let table = dataset.table();
+    for (i, row) in table.rows().enumerate() {
+        let mut fields: Vec<String> = Vec::with_capacity(row.len() + 1);
+        for (r, &code) in row.iter().enumerate() {
+            if code == MISSING {
+                fields.push("?".to_owned());
+            } else {
+                fields.push(
+                    table
+                        .schema()
+                        .domain(r)
+                        .label(code)
+                        .unwrap_or("?")
+                        .to_owned(),
+                );
+            }
+        }
+        fields.push(format!("c{}", dataset.labels()[i]));
+        writeln!(out, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_csv_with_last_label() {
+        let ds = read_csv_str("a,x,yes\nb,y,no\na,y,yes\n", &CsvOptions::default()).unwrap();
+        assert_eq!(ds.n_rows(), 3);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.k_true(), 2);
+        assert_eq!(ds.table().value(2, 0), 0); // "a" interned first
+    }
+
+    #[test]
+    fn drops_missing_rows_by_default() {
+        let ds = read_csv_str("a,x,yes\n?,y,no\nb,z,no\n", &CsvOptions::default()).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+    }
+
+    #[test]
+    fn keeps_missing_when_requested() {
+        let options = CsvOptions { drop_missing: false, ..CsvOptions::default() };
+        let ds = read_csv_str("a,x,yes\n?,y,no\n", &options).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+        assert_eq!(ds.table().value(1, 0), MISSING);
+    }
+
+    #[test]
+    fn header_names_features() {
+        let options = CsvOptions { has_header: true, ..CsvOptions::default() };
+        let ds = read_csv_str("color,shape,class\nred,round,a\nblue,square,b\n", &options).unwrap();
+        assert_eq!(ds.table().schema().domain(0).name(), "color");
+        assert_eq!(ds.table().schema().domain(1).name(), "shape");
+    }
+
+    #[test]
+    fn quoted_fields_with_embedded_delimiters() {
+        let ds = read_csv_str("\"a,b\",x,yes\nc,y,no\n", &CsvOptions::default()).unwrap();
+        assert_eq!(ds.table().schema().domain(0).label(0), Some("a,b"));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = read_csv_str("\"abc,x,yes\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn ragged_rows_are_an_error() {
+        let err = read_csv_str("a,x,yes\nb,no\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn first_and_index_label_columns() {
+        let options = CsvOptions { label: LabelColumn::First, ..CsvOptions::default() };
+        let ds = read_csv_str("yes,a,x\nno,b,y\n", &options).unwrap();
+        assert_eq!(ds.k_true(), 2);
+        assert_eq!(ds.table().schema().domain(0).label(0), Some("a"));
+
+        let options = CsvOptions { label: LabelColumn::Index(1), ..CsvOptions::default() };
+        let ds = read_csv_str("a,yes,x\nb,no,y\n", &options).unwrap();
+        assert_eq!(ds.k_true(), 2);
+        assert_eq!(ds.n_features(), 2);
+    }
+
+    #[test]
+    fn no_label_column_gives_single_class() {
+        let options = CsvOptions { label: LabelColumn::None, ..CsvOptions::default() };
+        let ds = read_csv_str("a,x\nb,y\n", &options).unwrap();
+        assert_eq!(ds.k_true(), 1);
+        assert_eq!(ds.n_features(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(
+            read_csv_str("", &CsvOptions::default()),
+            Err(DataError::EmptyTable)
+        ));
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let ds = read_csv_str("a,x,yes\nb,y,no\n", &CsvOptions::default()).unwrap();
+        let dir = std::env::temp_dir().join("categorical-data-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.csv");
+        write_csv(&ds, &path).unwrap();
+        let back = read_csv(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.n_features(), 2);
+        assert_eq!(back.k_true(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Categorical data model, IO, statistics, and synthetic generators.
+//!
+//! This crate is the data substrate of the MCDC reproduction. It provides:
+//!
+//! * [`FeatureDomain`] / [`Schema`] — named categorical features with
+//!   interned, code-addressed value domains;
+//! * [`CategoricalTable`] — a dense, row-major table of value codes;
+//! * [`Dataset`] — a table paired with ground-truth labels;
+//! * [`io`] — a dependency-free CSV reader/writer for UCI-style data;
+//! * [`stats`] — frequency tables, entropies, and mutual information used by
+//!   information-theoretic distance metrics;
+//! * [`synth`] — synthetic workload generators, including nested
+//!   multi-granular cluster structures and statistical stand-ins for the
+//!   eight UCI data sets evaluated in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use categorical_data::{Schema, CategoricalTable};
+//!
+//! let schema = Schema::builder()
+//!     .feature("gpu_type", ["A", "B", "C"])
+//!     .feature("gpu_usage", ["High", "Low"])
+//!     .build();
+//! let mut table = CategoricalTable::new(schema);
+//! table.push_row(&[0, 1]).unwrap();
+//! table.push_row(&[2, 0]).unwrap();
+//! assert_eq!(table.n_rows(), 2);
+//! assert_eq!(table.value(1, 0), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod domain;
+mod error;
+mod schema;
+mod table;
+
+pub mod io;
+pub mod stats;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use domain::FeatureDomain;
+pub use error::DataError;
+pub use schema::{Schema, SchemaBuilder};
+pub use table::{CategoricalTable, RowsIter};
+
+/// Value code marking a missing entry.
+///
+/// The paper removes objects with missing values before the experiments; the
+/// loader in [`io`] can either do the same or keep them for algorithms that
+/// understand `MISSING` (the object–cluster similarity in `mcdc-core` skips
+/// missing entries, mirroring the `Ψ_{F_r ≠ NULL}` denominator of Eq. (2)).
+pub const MISSING: u32 = u32::MAX;

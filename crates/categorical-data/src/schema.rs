@@ -1,0 +1,149 @@
+use serde::{Deserialize, Serialize};
+
+use crate::FeatureDomain;
+
+/// The ordered collection of feature domains describing one data set
+/// (the paper's `F = {F_1, …, F_d}`).
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::Schema;
+///
+/// let schema = Schema::builder()
+///     .feature("color", ["red", "green"])
+///     .anonymous_feature("shape", 4)
+///     .build();
+/// assert_eq!(schema.n_features(), 2);
+/// assert_eq!(schema.domain(1).cardinality(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    domains: Vec<FeatureDomain>,
+}
+
+impl Schema {
+    /// Creates a schema from pre-built feature domains.
+    pub fn new(domains: Vec<FeatureDomain>) -> Self {
+        Schema { domains }
+    }
+
+    /// Starts building a schema feature by feature.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { domains: Vec::new() }
+    }
+
+    /// Creates a schema of `d` anonymous features, each of cardinality `m`.
+    ///
+    /// This is the shape used by the synthetic workloads (Table II's
+    /// Syn_n / Syn_d rows).
+    pub fn uniform(d: usize, m: u32) -> Self {
+        let domains = (0..d).map(|r| FeatureDomain::anonymous(format!("f{r}"), m)).collect();
+        Schema { domains }
+    }
+
+    /// Number of features (the paper's `d`).
+    pub fn n_features(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The domain of feature `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.n_features()`.
+    pub fn domain(&self, r: usize) -> &FeatureDomain {
+        &self.domains[r]
+    }
+
+    /// Mutable access to the domain of feature `r`, used while interning rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.n_features()`.
+    pub fn domain_mut(&mut self, r: usize) -> &mut FeatureDomain {
+        &mut self.domains[r]
+    }
+
+    /// Iterates over the feature domains in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, FeatureDomain> {
+        self.domains.iter()
+    }
+
+    /// Cardinalities of all features (`m_1, …, m_d`).
+    pub fn cardinalities(&self) -> Vec<u32> {
+        self.domains.iter().map(FeatureDomain::cardinality).collect()
+    }
+
+    /// Largest cardinality over all features.
+    pub fn max_cardinality(&self) -> u32 {
+        self.domains.iter().map(FeatureDomain::cardinality).max().unwrap_or(0)
+    }
+
+    /// Rebuilds the per-domain label indices (needed after deserialization).
+    pub fn rebuild_indices(&mut self) {
+        for domain in &mut self.domains {
+            domain.rebuild_index();
+        }
+    }
+}
+
+/// Incremental [`Schema`] constructor returned by [`Schema::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct SchemaBuilder {
+    domains: Vec<FeatureDomain>,
+}
+
+impl SchemaBuilder {
+    /// Adds a feature with an explicit label set.
+    pub fn feature<I, S>(mut self, name: impl Into<String>, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.domains.push(FeatureDomain::with_labels(name, labels));
+        self
+    }
+
+    /// Adds a feature with `cardinality` anonymous labels.
+    pub fn anonymous_feature(mut self, name: impl Into<String>, cardinality: u32) -> Self {
+        self.domains.push(FeatureDomain::anonymous(name, cardinality));
+        self
+    }
+
+    /// Adds an empty feature whose labels will be interned lazily by loaders.
+    pub fn open_feature(mut self, name: impl Into<String>) -> Self {
+        self.domains.push(FeatureDomain::new(name));
+        self
+    }
+
+    /// Finishes the schema.
+    pub fn build(self) -> Schema {
+        Schema { domains: self.domains }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_schema_has_equal_cardinalities() {
+        let s = Schema::uniform(3, 5);
+        assert_eq!(s.n_features(), 3);
+        assert_eq!(s.cardinalities(), vec![5, 5, 5]);
+        assert_eq!(s.max_cardinality(), 5);
+    }
+
+    #[test]
+    fn builder_orders_features() {
+        let s = Schema::builder().feature("a", ["x"]).anonymous_feature("b", 2).build();
+        assert_eq!(s.domain(0).name(), "a");
+        assert_eq!(s.domain(1).name(), "b");
+    }
+
+    #[test]
+    fn empty_schema_max_cardinality_is_zero() {
+        assert_eq!(Schema::default().max_cardinality(), 0);
+    }
+}

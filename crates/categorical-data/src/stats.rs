@@ -1,0 +1,265 @@
+//! Per-feature and pairwise statistics of categorical tables.
+//!
+//! These power the information-theoretic distance metrics (GUDMM, ADC) and
+//! provide the occurrence counts `Ψ` used throughout the paper's equations.
+
+use crate::{CategoricalTable, MISSING};
+
+/// Occurrence counts of every value of every feature over a table
+/// (the paper's `Ψ_{F_r = f_rt}(X)`), plus non-missing totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequencyTable {
+    /// `counts[r][t]` = number of objects with value `t` in feature `r`.
+    counts: Vec<Vec<u64>>,
+    /// `present[r]` = number of objects with a non-missing value in `r`.
+    present: Vec<u64>,
+}
+
+impl FrequencyTable {
+    /// Counts value occurrences over the whole table.
+    pub fn from_table(table: &CategoricalTable) -> Self {
+        let d = table.n_features();
+        let mut counts: Vec<Vec<u64>> =
+            (0..d).map(|r| vec![0; table.schema().domain(r).cardinality() as usize]).collect();
+        let mut present = vec![0u64; d];
+        for row in table.rows() {
+            for (r, &code) in row.iter().enumerate() {
+                if code != MISSING {
+                    counts[r][code as usize] += 1;
+                    present[r] += 1;
+                }
+            }
+        }
+        FrequencyTable { counts, present }
+    }
+
+    /// Count of value `code` in feature `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `code` is out of bounds.
+    pub fn count(&self, r: usize, code: u32) -> u64 {
+        self.counts[r][code as usize]
+    }
+
+    /// Number of non-missing entries in feature `r`.
+    pub fn present(&self, r: usize) -> u64 {
+        self.present[r]
+    }
+
+    /// Relative frequency `p(F_r = code)` among non-missing entries;
+    /// zero when the feature is entirely missing.
+    pub fn frequency(&self, r: usize, code: u32) -> f64 {
+        if self.present[r] == 0 {
+            0.0
+        } else {
+            self.counts[r][code as usize] as f64 / self.present[r] as f64
+        }
+    }
+
+    /// Shannon entropy (nats) of feature `r`'s value distribution.
+    pub fn entropy(&self, r: usize) -> f64 {
+        entropy_from_counts(self.counts[r].iter().copied())
+    }
+}
+
+/// Joint counts of value pairs between two features, supporting conditional
+/// distributions and mutual information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JointDistribution {
+    /// `counts[a][b]` = objects with value `a` in feature `r` and `b` in `s`.
+    counts: Vec<Vec<u64>>,
+    total: u64,
+}
+
+impl JointDistribution {
+    /// Counts joint occurrences of features `r` and `s` (rows missing either
+    /// value are skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `s` is out of bounds.
+    pub fn from_table(table: &CategoricalTable, r: usize, s: usize) -> Self {
+        let mr = table.schema().domain(r).cardinality() as usize;
+        let ms = table.schema().domain(s).cardinality() as usize;
+        let mut counts = vec![vec![0u64; ms]; mr];
+        let mut total = 0u64;
+        for row in table.rows() {
+            let (a, b) = (row[r], row[s]);
+            if a != MISSING && b != MISSING {
+                counts[a as usize][b as usize] += 1;
+                total += 1;
+            }
+        }
+        JointDistribution { counts, total }
+    }
+
+    /// Joint count of `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of bounds.
+    pub fn count(&self, a: u32, b: u32) -> u64 {
+        self.counts[a as usize][b as usize]
+    }
+
+    /// Number of rows counted (both values present).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Conditional distribution `p(F_s | F_r = a)` as a dense vector.
+    ///
+    /// Returns the uniform-zero vector when `a` never occurs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of bounds.
+    pub fn conditional(&self, a: u32) -> Vec<f64> {
+        let row = &self.counts[a as usize];
+        let marginal: u64 = row.iter().sum();
+        if marginal == 0 {
+            return vec![0.0; row.len()];
+        }
+        row.iter().map(|&c| c as f64 / marginal as f64).collect()
+    }
+
+    /// Mutual information `I(F_r; F_s)` in nats.
+    pub fn mutual_information(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        let row_sums: Vec<u64> = self.counts.iter().map(|row| row.iter().sum()).collect();
+        let mut col_sums = vec![0u64; self.counts.first().map_or(0, Vec::len)];
+        for row in &self.counts {
+            for (b, &c) in row.iter().enumerate() {
+                col_sums[b] += c;
+            }
+        }
+        let mut mi = 0.0;
+        for (a, row) in self.counts.iter().enumerate() {
+            for (b, &c) in row.iter().enumerate() {
+                if c > 0 {
+                    let p_ab = c as f64 / n;
+                    let p_a = row_sums[a] as f64 / n;
+                    let p_b = col_sums[b] as f64 / n;
+                    mi += p_ab * (p_ab / (p_a * p_b)).ln();
+                }
+            }
+        }
+        mi.max(0.0)
+    }
+
+    /// Normalized mutual information `I(r;s) / max(H(r), H(s))`, in `[0, 1]`;
+    /// zero when either marginal entropy is zero.
+    pub fn normalized_mutual_information(&self) -> f64 {
+        let h_r = entropy_from_counts(self.counts.iter().map(|row| row.iter().sum::<u64>()));
+        let mut col_sums = vec![0u64; self.counts.first().map_or(0, Vec::len)];
+        for row in &self.counts {
+            for (b, &c) in row.iter().enumerate() {
+                col_sums[b] += c;
+            }
+        }
+        let h_s = entropy_from_counts(col_sums.iter().copied());
+        let denom = h_r.max(h_s);
+        if denom <= f64::EPSILON {
+            0.0
+        } else {
+            (self.mutual_information() / denom).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Shannon entropy (nats) of a count vector.
+pub fn entropy_from_counts<I: IntoIterator<Item = u64>>(counts: I) -> f64 {
+    let counts: Vec<u64> = counts.into_iter().collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn xor_table() -> CategoricalTable {
+        // Feature 1 = feature 0 (perfectly dependent); feature 2 independent.
+        let mut t = CategoricalTable::new(Schema::uniform(3, 2));
+        t.push_row(&[0, 0, 0]).unwrap();
+        t.push_row(&[0, 0, 1]).unwrap();
+        t.push_row(&[1, 1, 0]).unwrap();
+        t.push_row(&[1, 1, 1]).unwrap();
+        t
+    }
+
+    #[test]
+    fn frequency_counts() {
+        let t = xor_table();
+        let f = FrequencyTable::from_table(&t);
+        assert_eq!(f.count(0, 0), 2);
+        assert_eq!(f.present(0), 4);
+        assert!((f.frequency(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_uniform_binary_is_ln2() {
+        let t = xor_table();
+        let f = FrequencyTable::from_table(&t);
+        assert!((f.entropy(0) - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_of_identical_features_equals_entropy() {
+        let t = xor_table();
+        let j = JointDistribution::from_table(&t, 0, 1);
+        assert!((j.mutual_information() - (2.0f64).ln()).abs() < 1e-12);
+        assert!((j.normalized_mutual_information() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_of_independent_features_is_zero() {
+        let t = xor_table();
+        let j = JointDistribution::from_table(&t, 0, 2);
+        assert!(j.mutual_information().abs() < 1e-12);
+        assert!(j.normalized_mutual_information().abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_distribution_sums_to_one() {
+        let t = xor_table();
+        let j = JointDistribution::from_table(&t, 0, 1);
+        let c = j.conditional(0);
+        assert!((c.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_values_are_skipped() {
+        let mut t = CategoricalTable::new(Schema::uniform(2, 2));
+        t.push_row(&[0, 0]).unwrap();
+        t.push_row(&[crate::MISSING, 1]).unwrap();
+        let f = FrequencyTable::from_table(&t);
+        assert_eq!(f.present(0), 1);
+        assert_eq!(f.present(1), 2);
+        let j = JointDistribution::from_table(&t, 0, 1);
+        assert_eq!(j.total(), 1);
+    }
+
+    #[test]
+    fn entropy_of_empty_counts_is_zero() {
+        assert_eq!(entropy_from_counts(std::iter::empty()), 0.0);
+        assert_eq!(entropy_from_counts([0, 0]), 0.0);
+    }
+}

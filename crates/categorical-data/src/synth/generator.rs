@@ -1,0 +1,401 @@
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{CategoricalTable, Dataset, Schema};
+
+/// Configuration of the nested multi-granular cluster generator.
+///
+/// Objects are drawn from a two-level hierarchy: each of `k` *classes*
+/// (coarse clusters) owns `subclusters_per_class` *sub-clusters* (fine
+/// clusters). Every sub-cluster has a mode vector; an object copies its
+/// sub-cluster's mode value per feature with probability `1 - noise` and
+/// otherwise draws uniformly from the feature's domain. Sub-clusters of the
+/// same class share the class mode on a `shared_fraction` of the features,
+/// which is exactly what makes fine clusters merge into coarse ones — the
+/// nested granular effect of the paper's Fig. 2(b).
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::synth::GeneratorConfig;
+///
+/// let out = GeneratorConfig::new("demo", 300, vec![4; 8], 3)
+///     .subclusters(2)
+///     .noise(0.1)
+///     .generate(7);
+/// assert_eq!(out.dataset.n_rows(), 300);
+/// assert_eq!(out.dataset.k_true(), 3);
+/// assert_eq!(out.fine_k(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    name: String,
+    n: usize,
+    cardinalities: Vec<u32>,
+    k: usize,
+    class_weights: Vec<f64>,
+    subclusters_per_class: usize,
+    subcluster_decay: f64,
+    noise: f64,
+    shared_fraction: f64,
+    subcluster_fidelity: f64,
+    common_fraction: f64,
+    noise_feature_fraction: f64,
+}
+
+impl GeneratorConfig {
+    /// Starts a configuration for `n` objects over features with the given
+    /// `cardinalities`, grouped into `k` classes.
+    ///
+    /// Defaults: balanced classes, one sub-cluster per class, `noise = 0.1`,
+    /// `shared_fraction = 0.5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `k == 0`, `cardinalities` is empty, or any
+    /// cardinality is `< 2`.
+    pub fn new(name: impl Into<String>, n: usize, cardinalities: Vec<u32>, k: usize) -> Self {
+        assert!(n > 0, "n must be positive");
+        assert!(k > 0, "k must be positive");
+        assert!(!cardinalities.is_empty(), "need at least one feature");
+        assert!(cardinalities.iter().all(|&m| m >= 2), "cardinalities must be >= 2");
+        GeneratorConfig {
+            name: name.into(),
+            n,
+            cardinalities,
+            k,
+            class_weights: vec![1.0; k],
+            subclusters_per_class: 1,
+            subcluster_decay: 0.55,
+            noise: 0.1,
+            shared_fraction: 0.5,
+            subcluster_fidelity: 1.0,
+            common_fraction: 0.0,
+            noise_feature_fraction: 0.0,
+        }
+    }
+
+    /// Sets relative class sizes (need not sum to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != k` or any weight is non-positive.
+    pub fn class_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.k, "one weight per class");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        self.class_weights = weights;
+        self
+    }
+
+    /// Sets the number of fine sub-clusters per class (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub == 0`.
+    pub fn subclusters(mut self, sub: usize) -> Self {
+        assert!(sub > 0, "at least one sub-cluster per class");
+        self.subclusters_per_class = sub;
+        self
+    }
+
+    /// Sets the geometric size decay between a class's sub-clusters: the
+    /// `s`-th sub-cluster is sampled with weight `decay^s`. Real categorical
+    /// data has heavily skewed micro-cluster sizes (the different sphere
+    /// radii of the paper's Fig. 2(b)); `decay = 1` forces the balanced
+    /// (and unrealistically adversarial) case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is not in `(0, 1]`.
+    pub fn subcluster_decay(mut self, decay: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        self.subcluster_decay = decay;
+        self
+    }
+
+    /// Sets the per-feature corruption probability in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is not in `[0, 1)`.
+    pub fn noise(mut self, noise: f64) -> Self {
+        assert!((0.0..1.0).contains(&noise), "noise must be in [0, 1)");
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the fraction of *informative* features on which sub-clusters of
+    /// one class share the class mode (controls how strongly fine clusters
+    /// nest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn shared_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        self.shared_fraction = fraction;
+        self
+    }
+
+    /// Sets the fraction of the class-discriminative features each
+    /// sub-cluster actually keeps (default 1.0). Below 1.0, class identity
+    /// becomes *disjunctive*: every sub-population signals its class through
+    /// its own subset of the class features, so no single feature subspace
+    /// separates whole classes — the regime in which multi-granular learning
+    /// (find sub-clusters, then merge along their partial overlaps) has an
+    /// edge over one-shot subspace or mode matching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fidelity` is not in `(0, 1]`.
+    pub fn subcluster_fidelity(mut self, fidelity: f64) -> Self {
+        assert!(fidelity > 0.0 && fidelity <= 1.0, "fidelity must be in (0, 1]");
+        self.subcluster_fidelity = fidelity;
+        self
+    }
+
+    /// Sets the fraction of features that are *common*: every class (and
+    /// sub-cluster) shares one global mode there. Real categorical tables
+    /// carry many such non-discriminative-but-compact features; they mislead
+    /// purely compactness-driven weighting and dilute unweighted Hamming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn common_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        self.common_fraction = fraction;
+        self
+    }
+
+    /// Sets the fraction of features that are pure uniform noise (irrelevant
+    /// features, ubiquitous in real data). Unweighted distances are diluted
+    /// by them; feature-weighting methods should learn to ignore them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn noise_feature_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        self.noise_feature_fraction = fraction;
+        self
+    }
+
+    /// The configured number of classes (coarse clusters).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Draws the data set with a deterministic seed.
+    ///
+    /// Feature roles are laid out positionally: first the *common* features
+    /// (one global mode), then the *class-discriminative* features
+    /// (sub-clusters inherit the class mode), then the *sub-discriminative*
+    /// features (each sub-cluster draws its own mode), and finally the pure
+    /// *noise* features. The class/sub split among informative features is
+    /// governed by `shared_fraction`.
+    pub fn generate(&self, seed: u64) -> NestedDataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let d = self.cardinalities.len();
+        let sub = self.subclusters_per_class;
+
+        // Feature role boundaries.
+        let n_noise = ((d as f64) * self.noise_feature_fraction).round() as usize;
+        let n_common = (((d as f64) * self.common_fraction).round() as usize).min(d - n_noise);
+        let informative = d - n_noise - n_common;
+        let n_class = ((informative as f64) * self.shared_fraction).round() as usize;
+        let class_end = n_common + n_class; // features [n_common, class_end) are class-disc
+        let sub_end = n_common + informative; // [class_end, sub_end) sub-disc; rest noise
+
+        // One global mode for the common features.
+        let common_mode: Vec<u32> =
+            (0..d).map(|r| rng.gen_range(0..self.cardinalities[r])).collect();
+
+        // Class modes: distinct on informative features where possible.
+        let class_modes: Vec<Vec<u32>> = (0..self.k)
+            .map(|c| {
+                (0..d)
+                    .map(|r| {
+                        let m = self.cardinalities[r];
+                        if r < n_common {
+                            common_mode[r]
+                        } else {
+                            // Bias class c toward value (c mod m) plus jitter
+                            // so classes prefer different values even when
+                            // k > m.
+                            let base = (c as u32) % m;
+                            if rng.gen_bool(0.5) {
+                                base
+                            } else {
+                                rng.gen_range(0..m)
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Sub-cluster modes: inherit common features; keep the class mode on
+        // a per-sub-cluster random `subcluster_fidelity` fraction of the
+        // class-discriminative features (deviating on the rest); draw their
+        // own modes on sub-discriminative features.
+        let sub_modes: Vec<Vec<Vec<u32>>> = (0..self.k)
+            .map(|c| {
+                (0..sub)
+                    .map(|s| {
+                        (0..d)
+                            .map(|r| {
+                                let m = self.cardinalities[r];
+                                if r < class_end || sub == 1 {
+                                    let keeps = r < n_common
+                                        || sub == 1
+                                        || rng.gen_bool(self.subcluster_fidelity);
+                                    if keeps {
+                                        class_modes[c][r]
+                                    } else {
+                                        (class_modes[c][r] + s as u32 + 1) % m
+                                    }
+                                } else if r < sub_end {
+                                    // Spread sub-cluster modes across the domain.
+                                    (class_modes[c][r] + s as u32 + 1) % m
+                                } else {
+                                    class_modes[c][r]
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let class_dist = WeightedIndex::new(&self.class_weights)
+            .expect("weights validated in class_weights()");
+        let sub_weights: Vec<f64> =
+            (0..sub).map(|s| self.subcluster_decay.powi(s as i32)).collect();
+        let sub_dist = WeightedIndex::new(&sub_weights).expect("decay weights are positive");
+        let schema = Schema::new(
+            self.cardinalities
+                .iter()
+                .enumerate()
+                .map(|(r, &m)| crate::FeatureDomain::anonymous(format!("f{r}"), m))
+                .collect(),
+        );
+        let mut table = CategoricalTable::with_capacity(schema, self.n);
+        let mut coarse = Vec::with_capacity(self.n);
+        let mut fine = Vec::with_capacity(self.n);
+        let mut row = vec![0u32; d];
+        for _ in 0..self.n {
+            let c = class_dist.sample(&mut rng);
+            let s = sub_dist.sample(&mut rng);
+            for (r, slot) in row.iter_mut().enumerate() {
+                let m = self.cardinalities[r];
+                *slot = if r >= sub_end {
+                    // Irrelevant feature: uniform noise for everyone.
+                    rng.gen_range(0..m)
+                } else if rng.gen_bool(self.noise) {
+                    rng.gen_range(0..m)
+                } else {
+                    sub_modes[c][s][r]
+                };
+            }
+            table.push_row(&row).expect("generated rows are schema-valid");
+            coarse.push(c);
+            fine.push(c * sub + s);
+        }
+
+        let dataset = Dataset::new(self.name.clone(), table, coarse)
+            .expect("row/label counts match by construction");
+        NestedDataset { dataset, fine_labels: fine }
+    }
+}
+
+/// Output of the nested generator: a [`Dataset`] labeled at the coarse
+/// (class) granularity, plus the fine sub-cluster labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestedDataset {
+    /// The generated data with coarse class labels as ground truth.
+    pub dataset: Dataset,
+    /// Fine-granularity labels (`class * subclusters + subcluster`).
+    pub fine_labels: Vec<usize>,
+}
+
+impl NestedDataset {
+    /// Number of distinct fine sub-clusters actually realized.
+    pub fn fine_k(&self) -> usize {
+        let mut distinct = self.fine_labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = GeneratorConfig::new("t", 100, vec![3; 5], 2).noise(0.2);
+        let a = config.generate(42);
+        let b = config.generate(42);
+        assert_eq!(a, b);
+        let c = config.generate(43);
+        assert_ne!(a.dataset.table().as_flat(), c.dataset.table().as_flat());
+    }
+
+    #[test]
+    fn noiseless_single_subcluster_objects_equal_class_mode() {
+        let out = GeneratorConfig::new("t", 50, vec![4; 6], 2).noise(0.0).generate(1);
+        // All objects in one class must be identical when noise = 0, sub = 1.
+        let table = out.dataset.table();
+        let labels = out.dataset.labels();
+        for c in 0..2 {
+            let rows: Vec<&[u32]> =
+                (0..50).filter(|&i| labels[i] == c).map(|i| table.row(i)).collect();
+            if rows.len() > 1 {
+                assert!(rows.windows(2).all(|w| w[0] == w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn subclusters_share_the_shared_prefix() {
+        let out = GeneratorConfig::new("t", 400, vec![5; 10], 2)
+            .subclusters(3)
+            .noise(0.0)
+            .shared_fraction(0.5)
+            .generate(9);
+        let table = out.dataset.table();
+        let labels = out.dataset.labels();
+        // Within a class, the first 5 features are identical across objects.
+        for c in 0..2 {
+            let rows: Vec<&[u32]> =
+                (0..400).filter(|&i| labels[i] == c).map(|i| table.row(i)).collect();
+            assert!(rows.windows(2).all(|w| w[0][..5] == w[1][..5]));
+        }
+        assert_eq!(out.fine_k(), 6);
+    }
+
+    #[test]
+    fn class_weights_skew_sizes() {
+        let out = GeneratorConfig::new("t", 2000, vec![3; 4], 2)
+            .class_weights(vec![9.0, 1.0])
+            .generate(5);
+        let big = out.dataset.labels().iter().filter(|&&l| l == 0).count();
+        assert!(big > 1500, "class 0 should dominate, got {big}");
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be in [0, 1)")]
+    fn rejects_invalid_noise() {
+        let _ = GeneratorConfig::new("t", 10, vec![2], 1).noise(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinalities must be >= 2")]
+    fn rejects_unary_features() {
+        let _ = GeneratorConfig::new("t", 10, vec![1], 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Synthetic categorical workload generators.
+//!
+//! Three families, matching the paper's evaluation needs:
+//!
+//! * [`GeneratorConfig`] — the general *nested multi-granular* generator: coarse
+//!   classes composed of fine sub-clusters, the structure Fig. 2(b) of the
+//!   paper argues is prevalent in categorical data;
+//! * [`uci`] — statistical stand-ins for the eight UCI data sets of Table II
+//!   (same `n`, `d`, `k*`, per-feature cardinalities, and class skew;
+//!   overlap calibrated per set — see `DESIGN.md` §3 for the substitution
+//!   rationale);
+//! * [`scaling`] — the well-separated Syn_n / Syn_d sets used by the
+//!   efficiency experiments of Fig. 6.
+
+mod generator;
+pub mod scaling;
+pub mod uci;
+
+pub use generator::{GeneratorConfig, NestedDataset};

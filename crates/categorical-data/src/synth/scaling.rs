@@ -1,0 +1,88 @@
+//! The well-separated synthetic sets used by the efficiency experiments
+//! (Table II rows 9–10, Fig. 6).
+//!
+//! The paper generates them "with well-separated clusters" so that execution
+//! time, not clustering quality, is what varies. `Syn_n` has `n = 200 000`,
+//! `d = 10`, `k* = 3`; `Syn_d` has `d = 1000`, `n = 20 000`, `k* = 3`.
+
+use crate::synth::GeneratorConfig;
+use crate::Dataset;
+
+/// Default cardinality of every synthetic feature.
+pub const CARDINALITY: u32 = 4;
+
+/// Noise level keeping clusters well separated.
+pub const NOISE: f64 = 0.05;
+
+/// Generates a `Syn_n`-family set with `n` objects (`d = 10`, `k* = 3`).
+pub fn syn_n(n: usize, seed: u64) -> Dataset {
+    custom(format!("Syn_n({n})"), n, 10, 3, seed)
+}
+
+/// Generates a `Syn_d`-family set with `d` features (`n = 20 000`, `k* = 3`).
+pub fn syn_d(d: usize, seed: u64) -> Dataset {
+    custom(format!("Syn_d({d})"), 20_000, d, 3, seed)
+}
+
+/// Generates a well-separated set with arbitrary `n`, `d`, `k`.
+///
+/// # Panics
+///
+/// Panics if any of `n`, `d`, `k` is zero.
+pub fn custom(name: impl Into<String>, n: usize, d: usize, k: usize, seed: u64) -> Dataset {
+    GeneratorConfig::new(name, n, vec![CARDINALITY; d], k)
+        .noise(NOISE)
+        .subclusters(1)
+        .generate(seed)
+        .dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syn_n_shape() {
+        let ds = syn_n(1000, 1);
+        assert_eq!(ds.n_rows(), 1000);
+        assert_eq!(ds.n_features(), 10);
+        assert_eq!(ds.k_true(), 3);
+    }
+
+    #[test]
+    fn syn_d_shape() {
+        let ds = syn_d(50, 1);
+        assert_eq!(ds.n_rows(), 20_000);
+        assert_eq!(ds.n_features(), 50);
+        assert_eq!(ds.k_true(), 3);
+    }
+
+    #[test]
+    fn clusters_are_well_separated() {
+        // With 5% noise, intra-class Hamming similarity should be far higher
+        // than inter-class similarity.
+        let ds = custom("t", 300, 10, 3, 2);
+        let (table, labels) = (ds.table(), ds.labels());
+        let sim = |a: usize, b: usize| {
+            table
+                .row(a)
+                .iter()
+                .zip(table.row(b))
+                .filter(|(x, y)| x == y)
+                .count() as f64
+                / 10.0
+        };
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                if labels[i] == labels[j] {
+                    intra = (intra.0 + sim(i, j), intra.1 + 1);
+                } else {
+                    inter = (inter.0 + sim(i, j), inter.1 + 1);
+                }
+            }
+        }
+        assert!(intra.0 / intra.1 as f64 > inter.0 / inter.1 as f64 + 0.3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the synthetic generator and statistics module.
+
+use categorical_data::stats::{FrequencyTable, JointDistribution};
+use categorical_data::synth::GeneratorConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_data_has_declared_shape(
+        n in 10usize..200,
+        d in 1usize..8,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let out = GeneratorConfig::new("p", n, vec![3; d], k).generate(seed);
+        prop_assert_eq!(out.dataset.n_rows(), n);
+        prop_assert_eq!(out.dataset.n_features(), d);
+        prop_assert!(out.dataset.k_true() <= k);
+        prop_assert_eq!(out.fine_labels.len(), n);
+    }
+
+    #[test]
+    fn fine_labels_refine_coarse_labels(
+        seed in 0u64..500,
+        sub in 1usize..4,
+    ) {
+        let out = GeneratorConfig::new("p", 150, vec![4; 6], 3)
+            .subclusters(sub)
+            .noise(0.1)
+            .generate(seed);
+        // Every fine sub-cluster must sit inside exactly one coarse class.
+        let coarse = out.dataset.labels();
+        let mut owner = std::collections::HashMap::new();
+        for (i, &f) in out.fine_labels.iter().enumerate() {
+            let entry = owner.entry(f).or_insert(coarse[i]);
+            prop_assert_eq!(*entry, coarse[i], "fine cluster straddles classes");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_data(seed in 0u64..1000) {
+        let config = GeneratorConfig::new("p", 60, vec![3; 4], 2).noise(0.2);
+        prop_assert_eq!(config.generate(seed), config.generate(seed));
+    }
+
+    #[test]
+    fn frequency_table_counts_sum_to_present(
+        n in 5usize..100,
+        seed in 0u64..500,
+    ) {
+        let data = GeneratorConfig::new("p", n, vec![4; 3], 2).generate(seed).dataset;
+        let freq = FrequencyTable::from_table(data.table());
+        for r in 0..3 {
+            let total: u64 = (0..4).map(|t| freq.count(r, t)).sum();
+            prop_assert_eq!(total, freq.present(r));
+            prop_assert_eq!(freq.present(r), n as u64);
+            // Frequencies form a distribution.
+            let mass: f64 = (0..4).map(|t| freq.frequency(r, t)).sum();
+            prop_assert!((mass - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mutual_information_is_symmetric_and_bounded(
+        n in 20usize..150,
+        seed in 0u64..500,
+    ) {
+        let data = GeneratorConfig::new("p", n, vec![3; 4], 2).noise(0.3).generate(seed).dataset;
+        let ab = JointDistribution::from_table(data.table(), 0, 1);
+        let ba = JointDistribution::from_table(data.table(), 1, 0);
+        prop_assert!((ab.mutual_information() - ba.mutual_information()).abs() < 1e-9);
+        let freq = FrequencyTable::from_table(data.table());
+        let bound = freq.entropy(0).min(freq.entropy(1)) + 1e-9;
+        prop_assert!(ab.mutual_information() <= bound);
+        let nmi = ab.normalized_mutual_information();
+        prop_assert!((0.0..=1.0).contains(&nmi));
+    }
+
+    #[test]
+    fn noise_feature_fraction_destroys_structure_only_there(
+        seed in 0u64..200,
+    ) {
+        // With 50% noise features over d=8, the last 4 features carry no
+        // class signal: per-class conditional distributions are near uniform.
+        let data = GeneratorConfig::new("p", 2000, vec![4; 8], 2)
+            .noise(0.0)
+            .noise_feature_fraction(0.5)
+            .generate(seed)
+            .dataset;
+        let freq = FrequencyTable::from_table(data.table());
+        // Informative feature 0: entropy far below uniform (objects copy a
+        // class mode); noise feature 7: entropy near ln 4.
+        prop_assert!(freq.entropy(0) < 0.8, "H0={}", freq.entropy(0));
+        prop_assert!(freq.entropy(7) > 1.2, "H7={}", freq.entropy(7));
+    }
+}

@@ -1,0 +1,86 @@
+use crate::{solve_assignment, ContingencyTable};
+
+/// Clustering Accuracy (ACC): the fraction of objects correctly clustered
+/// under the *best* one-to-one mapping between predicted clusters and true
+/// classes, found exactly with the Hungarian algorithm.
+///
+/// This is the first validity index of the paper's Table III; it ranges over
+/// `[0, 1]`, higher is better. Works for any numbers of predicted/true
+/// clusters (the contingency matrix is zero-padded to square).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// use cluster_eval::accuracy;
+///
+/// // Predicted labels are a permutation of the truth: perfect accuracy.
+/// assert_eq!(accuracy(&[0, 0, 1, 1], &[7, 7, 3, 3]), 1.0);
+/// // One object out of four strays.
+/// assert_eq!(accuracy(&[0, 0, 1, 1], &[0, 0, 1, 0]), 0.75);
+/// ```
+pub fn accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert!(!truth.is_empty(), "labelings must be non-empty");
+    let table = ContingencyTable::from_labels(truth, predicted);
+    let size = table.n_rows().max(table.n_cols());
+    // Maximize matched counts == minimize negated counts on the padded matrix.
+    let mut cost = vec![vec![0.0f64; size]; size];
+    for (i, j, c) in table.cells() {
+        cost[i][j] = -(c as f64);
+    }
+    let (_, total) = solve_assignment(&cost);
+    -total / table.n() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_scores_one() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 2]), 1.0);
+    }
+
+    #[test]
+    fn label_permutation_is_invisible() {
+        assert_eq!(accuracy(&[0, 0, 1, 1, 2, 2], &[2, 2, 0, 0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn single_predicted_cluster_scores_majority_fraction() {
+        // All objects in one predicted cluster: best mapping matches the
+        // majority class.
+        let acc = accuracy(&[0, 0, 0, 1, 1], &[9, 9, 9, 9, 9]);
+        assert!((acc - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_predicted_clusters_than_classes() {
+        // Predicted splits class 0; only one of the two parts can map to it.
+        let acc = accuracy(&[0, 0, 0, 0], &[0, 0, 1, 1]);
+        assert!((acc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_predicted_clusters_than_classes() {
+        let acc = accuracy(&[0, 1, 2, 3], &[0, 0, 1, 1]);
+        assert!((acc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_interleaving() {
+        // Truth alternates but prediction groups opposite pairs: Hungarian
+        // still finds the best (here 0.5).
+        let acc = accuracy(&[0, 1, 0, 1], &[0, 0, 1, 1]);
+        assert!((acc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_labelings_panic() {
+        let _ = accuracy(&[], &[]);
+    }
+}

@@ -1,0 +1,138 @@
+use std::collections::HashMap;
+
+/// A contingency table between two labelings of the same objects: entry
+/// `(i, j)` counts objects with label `i` in the first labeling and `j` in
+/// the second.
+///
+/// # Example
+///
+/// ```
+/// use cluster_eval::ContingencyTable;
+///
+/// let table = ContingencyTable::from_labels(&[0, 0, 1], &[5, 5, 5]);
+/// assert_eq!(table.n(), 3);
+/// assert_eq!(table.n_rows(), 2);
+/// assert_eq!(table.n_cols(), 1);
+/// assert_eq!(table.count(0, 0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContingencyTable {
+    counts: Vec<Vec<u64>>,
+    row_sums: Vec<u64>,
+    col_sums: Vec<u64>,
+    n: u64,
+}
+
+impl ContingencyTable {
+    /// Builds the table from two label slices.
+    ///
+    /// Labels are arbitrary identifiers; they are densified internally in
+    /// first-appearance order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_labels(a: &[usize], b: &[usize]) -> Self {
+        assert_eq!(a.len(), b.len(), "labelings must cover the same objects");
+        let mut a_ids: HashMap<usize, usize> = HashMap::new();
+        let mut b_ids: HashMap<usize, usize> = HashMap::new();
+        let mut cells: HashMap<(usize, usize), u64> = HashMap::new();
+        for (&la, &lb) in a.iter().zip(b) {
+            let next_a = a_ids.len();
+            let i = *a_ids.entry(la).or_insert(next_a);
+            let next_b = b_ids.len();
+            let j = *b_ids.entry(lb).or_insert(next_b);
+            *cells.entry((i, j)).or_insert(0) += 1;
+        }
+        let mut counts = vec![vec![0u64; b_ids.len()]; a_ids.len()];
+        for ((i, j), c) in cells {
+            counts[i][j] = c;
+        }
+        let row_sums: Vec<u64> = counts.iter().map(|row| row.iter().sum()).collect();
+        let mut col_sums = vec![0u64; b_ids.len()];
+        for row in &counts {
+            for (j, &c) in row.iter().enumerate() {
+                col_sums[j] += c;
+            }
+        }
+        let n = a.len() as u64;
+        ContingencyTable { counts, row_sums, col_sums, n }
+    }
+
+    /// Total number of objects.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of distinct labels in the first labeling.
+    pub fn n_rows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of distinct labels in the second labeling.
+    pub fn n_cols(&self) -> usize {
+        self.col_sums.len()
+    }
+
+    /// Joint count for densified labels `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn count(&self, i: usize, j: usize) -> u64 {
+        self.counts[i][j]
+    }
+
+    /// Marginal counts of the first labeling.
+    pub fn row_sums(&self) -> &[u64] {
+        &self.row_sums
+    }
+
+    /// Marginal counts of the second labeling.
+    pub fn col_sums(&self) -> &[u64] {
+        &self.col_sums
+    }
+
+    /// Iterates over all non-zero cells as `(i, j, count)`.
+    pub fn cells(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        self.counts.iter().enumerate().flat_map(|(i, row)| {
+            row.iter().enumerate().filter(|(_, &c)| c > 0).map(move |(j, &c)| (i, j, c))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_marginals() {
+        let t = ContingencyTable::from_labels(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 1]);
+        assert_eq!(t.row_sums(), &[2, 3]);
+        assert_eq!(t.col_sums(), &[1, 4]);
+        assert_eq!(t.count(1, 1), 3);
+        assert_eq!(t.n(), 5);
+    }
+
+    #[test]
+    fn labels_may_be_sparse_identifiers() {
+        let t = ContingencyTable::from_labels(&[100, 7, 100], &[9, 9, 2]);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.count(0, 0), 1); // (100, 9)
+        assert_eq!(t.count(0, 1), 1); // (100, 2)
+    }
+
+    #[test]
+    fn cells_skips_zeros() {
+        let t = ContingencyTable::from_labels(&[0, 1], &[0, 1]);
+        let cells: Vec<_> = t.cells().collect();
+        assert_eq!(cells.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same objects")]
+    fn mismatched_lengths_panic() {
+        let _ = ContingencyTable::from_labels(&[0], &[0, 1]);
+    }
+}

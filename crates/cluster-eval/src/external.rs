@@ -1,0 +1,158 @@
+//! Additional external validity indices beyond the four the paper reports:
+//! purity, homogeneity / completeness / V-measure, and the pairwise Jaccard
+//! index. Useful when comparing against the wider categorical-clustering
+//! literature (COOLCAT and the entropy-based family report these).
+
+use crate::{labeling_entropy, mutual_information, ContingencyTable, PairCounts};
+
+/// Purity: each predicted cluster votes for its majority true class; the
+/// fraction of objects covered by those votes. Ranges over `(0, 1]`; unlike
+/// ACC it does not require a one-to-one cluster↔class mapping, so it is
+/// inflated by over-clustering (n singletons score 1.0).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// use cluster_eval::purity;
+///
+/// assert_eq!(purity(&[0, 0, 1, 1], &[5, 5, 9, 9]), 1.0);
+/// assert_eq!(purity(&[0, 0, 1, 1], &[5, 5, 5, 5]), 0.5);
+/// ```
+pub fn purity(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert!(!truth.is_empty(), "labelings must be non-empty");
+    // Contingency rows = predicted clusters, cols = true classes.
+    let table = ContingencyTable::from_labels(predicted, truth);
+    let mut covered = 0u64;
+    for i in 0..table.n_rows() {
+        let best = (0..table.n_cols()).map(|j| table.count(i, j)).max().unwrap_or(0);
+        covered += best;
+    }
+    covered as f64 / table.n() as f64
+}
+
+/// Homogeneity: 1 minus the conditional entropy of the true classes given
+/// the predicted clusters, normalized by the class entropy. 1.0 when every
+/// predicted cluster contains members of a single class.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn homogeneity(truth: &[usize], predicted: &[usize]) -> f64 {
+    let h_truth = labeling_entropy(truth);
+    if h_truth <= f64::EPSILON {
+        return 1.0;
+    }
+    let mi = mutual_information(truth, predicted);
+    (mi / h_truth).clamp(0.0, 1.0)
+}
+
+/// Completeness: the dual of [`homogeneity`] — 1.0 when all members of each
+/// true class land in a single predicted cluster.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn completeness(truth: &[usize], predicted: &[usize]) -> f64 {
+    homogeneity(predicted, truth)
+}
+
+/// V-measure: the harmonic mean of homogeneity and completeness
+/// (Rosenberg & Hirschberg 2007). Ranges over `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use cluster_eval::v_measure;
+///
+/// assert!((v_measure(&[0, 0, 1, 1], &[1, 1, 0, 0]) - 1.0).abs() < 1e-9);
+/// ```
+pub fn v_measure(truth: &[usize], predicted: &[usize]) -> f64 {
+    let h = homogeneity(truth, predicted);
+    let c = completeness(truth, predicted);
+    if h + c <= f64::EPSILON {
+        return 0.0;
+    }
+    2.0 * h * c / (h + c)
+}
+
+/// Pairwise Jaccard index: `TP / (TP + FP + FN)` over object pairs — the
+/// fraction of pairs clustered together in either partition that are
+/// together in both.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or hold fewer than 2 objects.
+pub fn jaccard_index(truth: &[usize], predicted: &[usize]) -> f64 {
+    let pc = PairCounts::from_labels(truth, predicted);
+    assert!(pc.total() > 0, "need at least two objects");
+    let denom = pc.together_both + pc.together_first + pc.together_second;
+    if denom == 0 {
+        // Neither partition groups anything: vacuous perfect agreement.
+        return 1.0;
+    }
+    pc.together_both as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purity_of_singletons_is_one() {
+        assert_eq!(purity(&[0, 0, 1, 1], &[0, 1, 2, 3]), 1.0);
+    }
+
+    #[test]
+    fn purity_matches_majority_share() {
+        // One cluster, classes split 3:1.
+        let p = purity(&[0, 0, 0, 1], &[7, 7, 7, 7]);
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneity_one_for_pure_subclusters() {
+        // Prediction refines the truth: each cluster pure, but incomplete.
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 1, 2, 3];
+        assert!((homogeneity(&truth, &pred) - 1.0).abs() < 1e-9);
+        assert!(completeness(&truth, &pred) < 1.0);
+    }
+
+    #[test]
+    fn completeness_one_for_merged_classes() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 0, 0];
+        assert!((completeness(&truth, &pred) - 1.0).abs() < 1e-9);
+        assert_eq!(homogeneity(&truth, &pred), 0.0);
+    }
+
+    #[test]
+    fn v_measure_balances_both() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let same = v_measure(&truth, &truth);
+        assert!((same - 1.0).abs() < 1e-9);
+        let refined = v_measure(&truth, &[0, 1, 2, 3, 4, 5]);
+        assert!(refined < 1.0);
+        assert!(refined > 0.0);
+    }
+
+    #[test]
+    fn jaccard_bounds_and_perfection() {
+        assert_eq!(jaccard_index(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+        let j = jaccard_index(&[0, 0, 1, 1], &[0, 1, 0, 1]);
+        assert!((0.0..1.0).contains(&j));
+    }
+
+    #[test]
+    fn jaccard_vacuous_all_singletons() {
+        assert_eq!(jaccard_index(&[0, 1, 2], &[0, 1, 2]), 1.0);
+    }
+}

@@ -1,0 +1,282 @@
+use crate::ContingencyTable;
+
+/// Shannon entropy (nats) of a labeling's cluster-size distribution.
+pub fn labeling_entropy(labels: &[usize]) -> f64 {
+    let table = ContingencyTable::from_labels(labels, labels);
+    entropy_of_counts(table.row_sums(), table.n())
+}
+
+fn entropy_of_counts(counts: &[u64], n: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n as f64;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Mutual information (nats) between two labelings.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mutual_information(a: &[usize], b: &[usize]) -> f64 {
+    mi_of(&ContingencyTable::from_labels(a, b))
+}
+
+fn mi_of(table: &ContingencyTable) -> f64 {
+    let n = table.n() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mut mi = 0.0;
+    for (i, j, c) in table.cells() {
+        let p_ij = c as f64 / n;
+        let p_i = table.row_sums()[i] as f64 / n;
+        let p_j = table.col_sums()[j] as f64 / n;
+        mi += p_ij * (p_ij / (p_i * p_j)).ln();
+    }
+    mi.max(0.0)
+}
+
+/// Normalized Mutual Information with the arithmetic-mean normalizer
+/// (scikit-learn's default): `MI / ((H(a) + H(b)) / 2)`, in `[0, 1]`.
+///
+/// Degenerate inputs where both labelings are single-cluster score 1.0.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> f64 {
+    let table = ContingencyTable::from_labels(a, b);
+    let h_a = entropy_of_counts(table.row_sums(), table.n());
+    let h_b = entropy_of_counts(table.col_sums(), table.n());
+    if h_a <= f64::EPSILON && h_b <= f64::EPSILON {
+        return 1.0;
+    }
+    let denom = 0.5 * (h_a + h_b);
+    if denom <= f64::EPSILON {
+        return 0.0;
+    }
+    (mi_of(&table) / denom).clamp(0.0, 1.0)
+}
+
+/// Adjusted Mutual Information (AMI, Vinh et al. 2010) with the exact
+/// expected-MI correction and the arithmetic-mean normalizer, matching
+/// scikit-learn's `adjusted_mutual_info_score`.
+///
+/// This is the third validity index of the paper's Table III. Ranges over
+/// roughly `[-1, 1]`; 0 expected for random labelings, 1 for identical
+/// partitions.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use cluster_eval::adjusted_mutual_information;
+///
+/// let ami = adjusted_mutual_information(&[0, 0, 1, 1], &[0, 0, 1, 2]);
+/// assert!((ami - 4.0 / 7.0).abs() < 1e-12); // exact EMI = (2/3)·ln 2
+/// ```
+pub fn adjusted_mutual_information(a: &[usize], b: &[usize]) -> f64 {
+    let table = ContingencyTable::from_labels(a, b);
+    let h_a = entropy_of_counts(table.row_sums(), table.n());
+    let h_b = entropy_of_counts(table.col_sums(), table.n());
+    if h_a <= f64::EPSILON && h_b <= f64::EPSILON {
+        // Both single-cluster: perfect agreement by convention.
+        return 1.0;
+    }
+    let mi = mi_of(&table);
+    let emi = expected_mutual_information(&table);
+    let normalizer = 0.5 * (h_a + h_b);
+    let denom = normalizer - emi;
+    if denom.abs() < f64::EPSILON {
+        // Avoid 0/0; fall back to the sign convention used by sklearn.
+        return if (mi - emi).abs() < f64::EPSILON { 1.0 } else { 0.0 };
+    }
+    (mi - emi) / denom
+}
+
+/// Exact expected mutual information under the permutation (hypergeometric)
+/// model of Vinh et al. (2010).
+fn expected_mutual_information(table: &ContingencyTable) -> f64 {
+    let n = table.n();
+    if n == 0 {
+        return 0.0;
+    }
+    let lnf = LnFactorial::up_to(n as usize);
+    let nf = n as f64;
+    let mut emi = 0.0;
+    for &a in table.row_sums() {
+        for &b in table.col_sums() {
+            if a == 0 || b == 0 {
+                continue;
+            }
+            let start = 1.max((a + b).saturating_sub(n));
+            let end = a.min(b);
+            for nij in start..=end {
+                let nij_f = nij as f64;
+                let term = nij_f / nf * ((nf * nij_f) / (a as f64 * b as f64)).ln();
+                if term == 0.0 {
+                    continue;
+                }
+                let ln_coef = lnf.get(a) + lnf.get(b) + lnf.get(n - a) + lnf.get(n - b)
+                    - lnf.get(n)
+                    - lnf.get(nij)
+                    - lnf.get(a - nij)
+                    - lnf.get(b - nij)
+                    // nij >= a + b - n guarantees this stays non-negative;
+                    // grouping as (n + nij) - (a + b) avoids u64 underflow.
+                    - lnf.get((n + nij) - (a + b));
+                emi += term * ln_coef.exp();
+            }
+        }
+    }
+    emi
+}
+
+/// Table of `ln(k!)` for `k = 0..=n`.
+struct LnFactorial(Vec<f64>);
+
+impl LnFactorial {
+    fn up_to(n: usize) -> Self {
+        let mut t = Vec::with_capacity(n + 1);
+        t.push(0.0);
+        for k in 1..=n {
+            t.push(t[k - 1] + (k as f64).ln());
+        }
+        LnFactorial(t)
+    }
+
+    fn get(&self, k: u64) -> f64 {
+        self.0[k as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_uniform_labeling() {
+        let h = labeling_entropy(&[0, 1, 2, 3]);
+        assert!((h - (4.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_constant_labeling_is_zero() {
+        assert_eq!(labeling_entropy(&[5, 5, 5]), 0.0);
+    }
+
+    #[test]
+    fn mi_of_identical_labelings_equals_entropy() {
+        let labels = [0, 0, 1, 1, 2];
+        let mi = mutual_information(&labels, &labels);
+        assert!((mi - labeling_entropy(&labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_is_permutation_invariant() {
+        let a = [0, 0, 1, 1, 2, 2];
+        let b = [2, 2, 0, 0, 1, 1];
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ami_matches_hand_computed_example() {
+        // For truth [0,0,1,1] vs pred [0,0,1,2] the exact EMI enumerates to
+        // (2/3)·ln 2 (verified below by brute force), giving AMI = 4/7.
+        let ami = adjusted_mutual_information(&[0, 0, 1, 1], &[0, 0, 1, 2]);
+        assert!((ami - 4.0 / 7.0).abs() < 1e-12, "ami={ami}");
+    }
+
+    #[test]
+    fn emi_matches_brute_force_permutation_average() {
+        // Average MI over all distinct permutations of the second labeling
+        // must equal the hypergeometric-model EMI.
+        let a = [0usize, 0, 1, 1];
+        let b = [0usize, 0, 1, 2];
+        let mut perm = [0usize, 1, 2, 3];
+        let mut total = 0.0;
+        let mut count = 0usize;
+        // Heap's algorithm, iterative enumeration of 4! permutations.
+        let mut c = [0usize; 4];
+        let mut eval = |perm: &[usize; 4]| {
+            let shuffled: Vec<usize> = perm.iter().map(|&i| b[i]).collect();
+            total += mutual_information(&a, &shuffled);
+            count += 1;
+        };
+        eval(&perm);
+        let mut i = 0;
+        while i < 4 {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(c[i], i);
+                }
+                eval(&perm);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+        let brute = total / count as f64;
+        let table = ContingencyTable::from_labels(&a, &b);
+        let emi = expected_mutual_information(&table);
+        assert!((brute - emi).abs() < 1e-12, "brute={brute} emi={emi}");
+        assert!((emi - 2.0 / 3.0 * (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ami_of_identical_partitions_is_one() {
+        let labels = [0, 0, 1, 1, 2, 2, 2];
+        assert!((adjusted_mutual_information(&labels, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ami_of_random_labelings_is_near_zero() {
+        let a: Vec<usize> = (0..3000).map(|i| (i * 2654435761usize) % 5).collect();
+        let b: Vec<usize> = (0..3000).map(|i| (i * 40503usize + 7) % 4).collect();
+        let ami = adjusted_mutual_information(&a, &b);
+        assert!(ami.abs() < 0.02, "ami={ami}");
+    }
+
+    #[test]
+    fn ami_degenerate_single_clusters() {
+        assert_eq!(adjusted_mutual_information(&[0, 0, 0], &[1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn ami_handles_marginals_exceeding_n() {
+        // Regression: with a=3, b=4, n=4 the EMI inner term (n−a−b+nij) must
+        // not underflow in u64 arithmetic.
+        let ami = adjusted_mutual_information(&[0, 0, 0, 1], &[0, 0, 0, 0]);
+        assert!(ami.is_finite());
+    }
+
+    #[test]
+    fn nmi_degenerate_single_vs_split() {
+        // One side constant, the other split: zero information in common.
+        let v = normalized_mutual_information(&[0, 0, 0, 0], &[0, 1, 2, 3]);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn ln_factorial_table() {
+        let t = LnFactorial::up_to(10);
+        assert_eq!(t.get(0), 0.0);
+        assert!((t.get(5) - (120.0f64).ln()).abs() < 1e-12);
+        assert!((t.get(10) - (3628800.0f64).ln()).abs() < 1e-9);
+    }
+}

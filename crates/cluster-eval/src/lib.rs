@@ -1,0 +1,80 @@
+//! Clustering validity indices and statistical tests.
+//!
+//! Implements the four external validity indices used in the paper's
+//! Table III — Clustering Accuracy ([`accuracy`], via an exact Hungarian
+//! assignment), Adjusted Rand Index ([`adjusted_rand_index`]), Adjusted
+//! Mutual Information ([`adjusted_mutual_information`], with the exact
+//! expected-MI correction), and the Fowlkes–Mallows score
+//! ([`fowlkes_mallows`]) — plus Normalized Mutual Information and the
+//! two-tailed Wilcoxon signed-rank test of Table IV.
+//!
+//! All index functions take two label slices of equal length; labels are
+//! arbitrary `usize` identifiers (no contiguity requirement).
+//!
+//! # Example
+//!
+//! ```
+//! use cluster_eval::{accuracy, adjusted_rand_index};
+//!
+//! let truth = [0, 0, 1, 1];
+//! let pred = [1, 1, 0, 0]; // same partition, permuted labels
+//! assert_eq!(accuracy(&truth, &pred), 1.0);
+//! assert_eq!(adjusted_rand_index(&truth, &pred), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod accuracy;
+mod contingency;
+mod external;
+mod hungarian;
+mod information;
+mod pair_counts;
+mod ranks;
+mod wilcoxon;
+
+pub use accuracy::accuracy;
+pub use contingency::ContingencyTable;
+pub use external::{completeness, homogeneity, jaccard_index, purity, v_measure};
+pub use hungarian::solve_assignment;
+pub use information::{
+    adjusted_mutual_information, labeling_entropy, mutual_information,
+    normalized_mutual_information,
+};
+pub use pair_counts::{adjusted_rand_index, fowlkes_mallows, rand_index, PairCounts};
+pub use ranks::average_ranks;
+pub use wilcoxon::{wilcoxon_signed_rank, WilcoxonMethod, WilcoxonResult};
+
+/// Standard normal cumulative distribution function.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 rational approximation of `erf`
+/// (absolute error < 1.5e-7), which is ample for significance testing.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999999);
+    }
+}

@@ -1,0 +1,197 @@
+use crate::ContingencyTable;
+
+/// Pairwise agreement counts between two partitions of the same objects.
+///
+/// All four pair-counting indices (Rand, ARI, FM, Jaccard, …) derive from
+/// these totals. Counts use `u64`; they stay exact up to `n ≈ 6·10⁹`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairCounts {
+    /// Pairs together in both partitions (true positives).
+    pub together_both: u64,
+    /// Pairs together in the first partition only.
+    pub together_first: u64,
+    /// Pairs together in the second partition only.
+    pub together_second: u64,
+    /// Pairs separated in both partitions.
+    pub separate_both: u64,
+}
+
+fn choose2(x: u64) -> u64 {
+    x * x.saturating_sub(1) / 2
+}
+
+impl PairCounts {
+    /// Computes pair counts from two label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_labels(a: &[usize], b: &[usize]) -> Self {
+        Self::from_contingency(&ContingencyTable::from_labels(a, b))
+    }
+
+    /// Computes pair counts from a pre-built contingency table.
+    pub fn from_contingency(table: &ContingencyTable) -> Self {
+        let tp: u64 = table.cells().map(|(_, _, c)| choose2(c)).sum();
+        let rows: u64 = table.row_sums().iter().map(|&c| choose2(c)).sum();
+        let cols: u64 = table.col_sums().iter().map(|&c| choose2(c)).sum();
+        let all = choose2(table.n());
+        PairCounts {
+            together_both: tp,
+            together_first: rows - tp,
+            together_second: cols - tp,
+            // Grouped as (all + tp) - (rows + cols): rows + cols can exceed
+            // `all` when both partitions are dominated by one big cluster,
+            // so the naive left-to-right order underflows in u64.
+            separate_both: (all + tp) - (rows + cols),
+        }
+    }
+
+    /// Total number of object pairs.
+    pub fn total(&self) -> u64 {
+        self.together_both + self.together_first + self.together_second + self.separate_both
+    }
+}
+
+/// The (unadjusted) Rand Index: fraction of object pairs on which the two
+/// partitions agree. Ranges over `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than 2 elements.
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    let pc = PairCounts::from_labels(a, b);
+    assert!(pc.total() > 0, "need at least two objects");
+    (pc.together_both + pc.separate_both) as f64 / pc.total() as f64
+}
+
+/// Adjusted Rand Index (ARI, Hubert & Arabie 1985): the Rand index corrected
+/// for chance, ranging over `[-1, 1]` with 0 expected for random labelings.
+///
+/// This is the second validity index of the paper's Table III. Degenerate
+/// inputs where both partitions are single-cluster (or both all-singletons)
+/// score 1.0, matching scikit-learn's convention.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than 2 elements.
+///
+/// # Example
+///
+/// ```
+/// use cluster_eval::adjusted_rand_index;
+///
+/// let ari = adjusted_rand_index(&[0, 0, 1, 1], &[0, 0, 1, 2]);
+/// assert!((ari - 4.0 / 7.0).abs() < 1e-12); // sklearn reports 0.5714…
+/// ```
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    let table = ContingencyTable::from_labels(a, b);
+    assert!(table.n() >= 2, "need at least two objects");
+    let tp: f64 = table.cells().map(|(_, _, c)| choose2(c) as f64).sum();
+    let rows: f64 = table.row_sums().iter().map(|&c| choose2(c) as f64).sum();
+    let cols: f64 = table.col_sums().iter().map(|&c| choose2(c) as f64).sum();
+    let all = choose2(table.n()) as f64;
+    let expected = rows * cols / all;
+    let max_index = 0.5 * (rows + cols);
+    if (max_index - expected).abs() < f64::EPSILON {
+        // Both partitions trivial (all-one-cluster or all-singletons).
+        return 1.0;
+    }
+    (tp - expected) / (max_index - expected)
+}
+
+/// Fowlkes–Mallows score: the geometric mean of pairwise precision and
+/// recall, ranging over `[0, 1]`.
+///
+/// This is the fourth validity index of the paper's Table III.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than 2 elements.
+///
+/// # Example
+///
+/// ```
+/// use cluster_eval::fowlkes_mallows;
+///
+/// assert_eq!(fowlkes_mallows(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+/// assert_eq!(fowlkes_mallows(&[0, 0, 0, 0], &[0, 1, 2, 3]), 0.0);
+/// ```
+pub fn fowlkes_mallows(a: &[usize], b: &[usize]) -> f64 {
+    let pc = PairCounts::from_labels(a, b);
+    assert!(pc.total() > 0, "need at least two objects");
+    let tp = pc.together_both as f64;
+    let precision_denom = (pc.together_both + pc.together_second) as f64;
+    let recall_denom = (pc.together_both + pc.together_first) as f64;
+    if precision_denom == 0.0 || recall_denom == 0.0 {
+        return 0.0;
+    }
+    tp / (precision_denom * recall_denom).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_counts_partition_all_pairs() {
+        let pc = PairCounts::from_labels(&[0, 0, 1, 1, 2], &[0, 1, 1, 1, 2]);
+        assert_eq!(pc.total(), choose2(5));
+    }
+
+    #[test]
+    fn identical_partitions_have_no_disagreement() {
+        let pc = PairCounts::from_labels(&[0, 0, 1], &[5, 5, 6]);
+        assert_eq!(pc.together_first, 0);
+        assert_eq!(pc.together_second, 0);
+    }
+
+    #[test]
+    fn rand_index_of_identical_is_one() {
+        assert_eq!(rand_index(&[0, 1, 0, 1], &[1, 0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    fn ari_matches_sklearn_doc_example() {
+        let ari = adjusted_rand_index(&[0, 0, 1, 1], &[0, 0, 1, 2]);
+        assert!((ari - 0.5714285714285714).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_of_random_labels_is_near_zero() {
+        // Fixed pseudo-random labels; expectation of ARI under independence is 0.
+        let a: Vec<usize> = (0..2000).map(|i| (i * 2654435761usize) % 7 % 3).collect();
+        let b: Vec<usize> = (0..2000).map(|i| (i * 40503usize + 17) % 11 % 3).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.05, "ari={ari}");
+    }
+
+    #[test]
+    fn ari_degenerate_single_cluster_both() {
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn ari_can_be_negative() {
+        // Systematically opposed partitions score below chance.
+        let a = [0, 0, 1, 1];
+        let b = [0, 1, 0, 1];
+        assert!(adjusted_rand_index(&a, &b) < 0.0);
+    }
+
+    #[test]
+    fn fm_matches_sklearn_doc_examples() {
+        assert_eq!(fowlkes_mallows(&[0, 0, 1, 1], &[0, 0, 1, 1]), 1.0);
+        assert_eq!(fowlkes_mallows(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+        assert_eq!(fowlkes_mallows(&[0, 0, 0, 0], &[0, 1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn fm_intermediate_value() {
+        // truth pairs together: (0,1),(2,3); pred pairs together: (0,1),(1,2)? --
+        // pred = [0,0,0,1]: together pairs {01,02,12}. TP = |{01}| = 1.
+        // precision = 1/3, recall = 1/2, FM = 1/sqrt(6).
+        let fm = fowlkes_mallows(&[0, 0, 1, 1], &[0, 0, 0, 1]);
+        assert!((fm - 1.0 / 6.0f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+/// Assigns 1-based ranks to `values`, averaging ranks over ties
+/// (the "mid-rank" convention used by rank statistics).
+///
+/// # Example
+///
+/// ```
+/// use cluster_eval::average_ranks;
+///
+/// let ranks = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+/// assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("values must not be NaN"));
+    let mut ranks = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average of ranks i+1..=j+1.
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_values_get_integer_ranks() {
+        assert_eq!(average_ranks(&[3.0, 1.0, 2.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_tied_values_share_the_middle_rank() {
+        assert_eq!(average_ranks(&[7.0, 7.0, 7.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(average_ranks(&[]).is_empty());
+    }
+
+    #[test]
+    fn rank_sum_is_preserved_under_ties() {
+        let ranks = average_ranks(&[1.0, 2.0, 2.0, 2.0, 5.0, 5.0]);
+        let sum: f64 = ranks.iter().sum();
+        assert_eq!(sum, (1..=6).sum::<usize>() as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_values_panic() {
+        let _ = average_ranks(&[1.0, f64::NAN]);
+    }
+}

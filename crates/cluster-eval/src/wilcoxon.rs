@@ -1,0 +1,254 @@
+use crate::{average_ranks, normal_cdf};
+
+/// How the Wilcoxon p-value was computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WilcoxonMethod {
+    /// Exact null distribution (enumerated for small effective n).
+    Exact,
+    /// Normal approximation with tie and continuity corrections.
+    NormalApproximation,
+    /// All paired differences were zero; the test is vacuous (p = 1).
+    Degenerate,
+}
+
+/// Result of a two-tailed Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilcoxonResult {
+    /// Test statistic `T = min(W⁺, W⁻)`.
+    pub statistic: f64,
+    /// Sum of ranks of positive differences (`x > y`).
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences (`x < y`).
+    pub w_minus: f64,
+    /// Number of non-zero paired differences actually ranked.
+    pub n_effective: usize,
+    /// Two-tailed p-value.
+    pub p_value: f64,
+    /// How the p-value was obtained.
+    pub method: WilcoxonMethod,
+}
+
+impl WilcoxonResult {
+    /// Whether the null hypothesis (no systematic difference) is rejected at
+    /// significance level `alpha`. The paper's Table IV uses `alpha = 0.1`
+    /// (90% confidence).
+    pub fn is_significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+
+    /// `true` when `x` tends to exceed `y` (`W⁺ > W⁻`), i.e. the first
+    /// method outperforms under a higher-is-better score.
+    pub fn first_is_better(&self) -> bool {
+        self.w_plus > self.w_minus
+    }
+}
+
+/// Effective-n threshold below which the exact null distribution is used.
+const EXACT_LIMIT: usize = 20;
+
+/// Two-tailed Wilcoxon signed-rank test on paired samples, as used for the
+/// paper's Table IV significance analysis (MCDC+F. versus each counterpart
+/// across the eight data sets).
+///
+/// Zero differences are dropped (Wilcoxon's original treatment); tied
+/// absolute differences receive averaged ranks. For `n_effective ≤ 20` the
+/// exact permutation null distribution is enumerated; beyond that a normal
+/// approximation with tie and continuity corrections is used.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or contain NaN.
+///
+/// # Example
+///
+/// ```
+/// use cluster_eval::wilcoxon_signed_rank;
+///
+/// let ours = [0.9, 0.8, 0.7, 0.9, 0.8];
+/// let theirs = [0.8, 0.7, 0.6, 0.8, 0.7];
+/// let result = wilcoxon_signed_rank(&ours, &theirs);
+/// assert!((result.p_value - 0.0625).abs() < 1e-12); // matches scipy (exact)
+/// assert!(result.first_is_better());
+/// ```
+pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> WilcoxonResult {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    let diffs: Vec<f64> = x
+        .iter()
+        .zip(y)
+        .map(|(&a, &b)| {
+            assert!(!a.is_nan() && !b.is_nan(), "samples must not contain NaN");
+            a - b
+        })
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return WilcoxonResult {
+            statistic: 0.0,
+            w_plus: 0.0,
+            w_minus: 0.0,
+            n_effective: 0,
+            p_value: 1.0,
+            method: WilcoxonMethod::Degenerate,
+        };
+    }
+
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = average_ranks(&abs);
+    let w_plus: f64 =
+        ranks.iter().zip(&diffs).filter(|(_, &d)| d > 0.0).map(|(&r, _)| r).sum();
+    let total = n as f64 * (n as f64 + 1.0) / 2.0;
+    let w_minus = total - w_plus;
+    let statistic = w_plus.min(w_minus);
+
+    let (p_value, method) = if n <= EXACT_LIMIT {
+        (exact_p_value(&ranks, statistic), WilcoxonMethod::Exact)
+    } else {
+        (approx_p_value(&ranks, statistic, n), WilcoxonMethod::NormalApproximation)
+    };
+
+    WilcoxonResult {
+        statistic,
+        w_plus,
+        w_minus,
+        n_effective: n,
+        p_value: p_value.clamp(0.0, 1.0),
+        method,
+    }
+}
+
+/// Exact two-tailed p-value: `2 · P(W ≤ statistic)` under the uniform sign
+/// model, computed by dynamic programming over doubled (integer) ranks.
+fn exact_p_value(ranks: &[f64], statistic: f64) -> f64 {
+    let doubled: Vec<usize> = ranks.iter().map(|&r| (2.0 * r).round() as usize).collect();
+    let total: usize = doubled.iter().sum();
+    // counts[s] = number of sign assignments with doubled W+ equal to s.
+    let mut counts = vec![0.0f64; total + 1];
+    counts[0] = 1.0;
+    for &r in &doubled {
+        for s in (r..=total).rev() {
+            counts[s] += counts[s - r];
+        }
+    }
+    let threshold = (2.0 * statistic).round() as usize;
+    let tail: f64 = counts[..=threshold.min(total)].iter().sum();
+    let all: f64 = counts.iter().sum();
+    (2.0 * tail / all).min(1.0)
+}
+
+/// Normal approximation with tie correction and 0.5 continuity correction.
+fn approx_p_value(ranks: &[f64], statistic: f64, n: usize) -> f64 {
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    // Tie correction: group equal ranks.
+    let mut sorted = ranks.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("ranks are finite"));
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let variance = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
+    if variance <= 0.0 {
+        return 1.0;
+    }
+    let z = (statistic - mean + 0.5) / variance.sqrt();
+    2.0 * normal_cdf(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_zero_differences_are_degenerate() {
+        let r = wilcoxon_signed_rank(&[1.0, 2.0], &[1.0, 2.0]);
+        assert_eq!(r.method, WilcoxonMethod::Degenerate);
+        assert_eq!(r.p_value, 1.0);
+        assert!(!r.is_significant(0.1));
+    }
+
+    #[test]
+    fn matches_scipy_uniform_shift() {
+        // scipy.stats.wilcoxon([1..5], [2..6]) => statistic 0, p 0.0625.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 3.0, 4.0, 5.0, 6.0];
+        let r = wilcoxon_signed_rank(&x, &y);
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 0.0625).abs() < 1e-12);
+        assert!(!r.first_is_better());
+    }
+
+    #[test]
+    fn matches_scipy_mixed_signs() {
+        // scipy.stats.wilcoxon(d) with
+        // d = [6, 8, 14, 16, 23, 24, 28, 29, 41, -48, 49, 56, 60, -67, 75]
+        // => statistic 24, p = 0.041259765625 (exact).
+        let d = [
+            6.0, 8.0, 14.0, 16.0, 23.0, 24.0, 28.0, 29.0, 41.0, -48.0, 49.0, 56.0, 60.0, -67.0,
+            75.0,
+        ];
+        let zeros = vec![0.0; d.len()];
+        let r = wilcoxon_signed_rank(&d, &zeros);
+        assert_eq!(r.statistic, 24.0);
+        assert!((r.p_value - 0.041259765625).abs() < 1e-12, "p={}", r.p_value);
+        assert!(r.first_is_better());
+    }
+
+    #[test]
+    fn symmetric_inputs_give_symmetric_statistics() {
+        let x = [0.9, 0.4, 0.7, 0.3];
+        let y = [0.1, 0.8, 0.2, 0.6];
+        let a = wilcoxon_signed_rank(&x, &y);
+        let b = wilcoxon_signed_rank(&y, &x);
+        assert_eq!(a.p_value, b.p_value);
+        assert_eq!(a.w_plus, b.w_minus);
+    }
+
+    #[test]
+    fn large_sample_uses_normal_approximation() {
+        let x: Vec<f64> = (0..30).map(|i| i as f64 + if i % 3 == 0 { 2.0 } else { 0.5 }).collect();
+        let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let r = wilcoxon_signed_rank(&x, &y);
+        assert_eq!(r.method, WilcoxonMethod::NormalApproximation);
+        // x strictly dominates y: strongly significant.
+        assert!(r.p_value < 1e-4);
+        assert!(r.is_significant(0.1));
+    }
+
+    #[test]
+    fn exact_and_approx_agree_on_moderate_n() {
+        // Same data evaluated both ways should give p-values in the same
+        // ballpark (the approximation is decent by n = 20).
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.37).sin() + 0.3).collect();
+        let y: Vec<f64> = (0..20).map(|i| (i as f64 * 0.37).sin()).collect();
+        let r = wilcoxon_signed_rank(&x, &y);
+        assert_eq!(r.method, WilcoxonMethod::Exact);
+        let approx = approx_p_value(
+            &average_ranks(&x.iter().zip(&y).map(|(a, b)| (a - b).abs()).collect::<Vec<_>>()),
+            r.statistic,
+            20,
+        );
+        assert!((r.p_value - approx).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_differences_are_dropped() {
+        let x = [1.0, 5.0, 3.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 1.0];
+        let r = wilcoxon_signed_rank(&x, &y);
+        assert_eq!(r.n_effective, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn unequal_lengths_panic() {
+        let _ = wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    }
+}

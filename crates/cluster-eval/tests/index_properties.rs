@@ -1,0 +1,96 @@
+//! Property-based tests of the validity indices against each other and
+//! against brute-force definitions.
+
+use cluster_eval::{
+    accuracy, adjusted_rand_index, fowlkes_mallows, rand_index, wilcoxon_signed_rank,
+    ContingencyTable, PairCounts,
+};
+use proptest::prelude::*;
+
+fn labels(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..k, n)
+}
+
+/// Brute-force pair agreement count straight from the definition.
+fn brute_pair_counts(a: &[usize], b: &[usize]) -> (u64, u64, u64, u64) {
+    let (mut both, mut first, mut second, mut neither) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..a.len() {
+        for j in (i + 1)..a.len() {
+            match (a[i] == a[j], b[i] == b[j]) {
+                (true, true) => both += 1,
+                (true, false) => first += 1,
+                (false, true) => second += 1,
+                (false, false) => neither += 1,
+            }
+        }
+    }
+    (both, first, second, neither)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pair_counts_match_brute_force(a in labels(20, 3), b in labels(20, 4)) {
+        let pc = PairCounts::from_labels(&a, &b);
+        let (both, first, second, neither) = brute_pair_counts(&a, &b);
+        prop_assert_eq!(pc.together_both, both);
+        prop_assert_eq!(pc.together_first, first);
+        prop_assert_eq!(pc.together_second, second);
+        prop_assert_eq!(pc.separate_both, neither);
+    }
+
+    #[test]
+    fn rand_index_from_pair_counts(a in labels(15, 3), b in labels(15, 3)) {
+        let (both, first, second, neither) = brute_pair_counts(&a, &b);
+        let expected = (both + neither) as f64 / (both + first + second + neither) as f64;
+        prop_assert!((rand_index(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_upper_bounds_any_fixed_mapping(a in labels(25, 3), b in labels(25, 3)) {
+        // ACC uses the optimal mapping, so it is at least the score of the
+        // identity mapping.
+        let identity_score =
+            a.iter().zip(&b).filter(|(x, y)| x == y).count() as f64 / a.len() as f64;
+        prop_assert!(accuracy(&a, &b) + 1e-12 >= identity_score);
+    }
+
+    #[test]
+    fn contingency_marginals_sum_to_n(a in labels(30, 4), b in labels(30, 5)) {
+        let t = ContingencyTable::from_labels(&a, &b);
+        prop_assert_eq!(t.row_sums().iter().sum::<u64>(), 30);
+        prop_assert_eq!(t.col_sums().iter().sum::<u64>(), 30);
+        let cell_total: u64 = t.cells().map(|(_, _, c)| c).sum();
+        prop_assert_eq!(cell_total, 30);
+    }
+
+    #[test]
+    fn ari_and_fm_agree_on_perfection(a in labels(20, 4)) {
+        prop_assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((fowlkes_mallows(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wilcoxon_p_value_is_a_probability(
+        x in proptest::collection::vec(0.0f64..1.0, 8),
+        y in proptest::collection::vec(0.0f64..1.0, 8),
+    ) {
+        let r = wilcoxon_signed_rank(&x, &y);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert!(r.w_plus >= 0.0 && r.w_minus >= 0.0);
+        let total = r.n_effective as f64 * (r.n_effective as f64 + 1.0) / 2.0;
+        prop_assert!((r.w_plus + r.w_minus - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wilcoxon_shift_direction_is_detected(
+        base in proptest::collection::vec(0.0f64..1.0, 10),
+        shift in 0.05f64..0.5,
+    ) {
+        let shifted: Vec<f64> = base.iter().map(|v| v + shift).collect();
+        let r = wilcoxon_signed_rank(&shifted, &base);
+        prop_assert!(r.first_is_better());
+        prop_assert_eq!(r.w_minus, 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Active-learning orientation of MGCPL — the paper's future-work
+//! direction 3 ("leveraging the advantages of MGCPL to active learning for
+//! reducing the workload of human experts in manually labeling large-scale
+//! categorical data sets").
+//!
+//! The multi-granular structure is a natural labeling curriculum: label the
+//! medoid of each *coarse* cluster first (maximum coverage per query), then
+//! descend into finer granularities where the coarse labels disagree. The
+//! [`LabelingPlan`] emits queries in that order and can propagate acquired
+//! labels to every unlabeled object through its finest micro-cluster.
+
+use categorical_data::CategoricalTable;
+
+use crate::{ClusterProfile, MgcplResult};
+
+/// One labeling query: ask the expert about `object`, representing
+/// `coverage` objects of its cluster at granularity `granularity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelQuery {
+    /// Row index to show the expert.
+    pub object: usize,
+    /// Which granularity level the query represents (0 = finest).
+    pub granularity: usize,
+    /// Cluster id within that granularity.
+    pub cluster: usize,
+    /// Number of objects this query speaks for.
+    pub coverage: usize,
+}
+
+/// A granularity-guided labeling curriculum built from an [`MgcplResult`].
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::synth::GeneratorConfig;
+/// use mcdc_core::{LabelingPlan, Mgcpl};
+///
+/// let data = GeneratorConfig::new("al", 200, vec![4; 8], 3)
+///     .noise(0.1)
+///     .generate(1)
+///     .dataset;
+/// let granular = Mgcpl::builder().seed(1).build().fit(data.table())?;
+/// let plan = LabelingPlan::new(data.table(), &granular);
+/// // Coarse medoids come first and cover the most objects.
+/// let queries = plan.queries();
+/// assert!(!queries.is_empty());
+/// assert!(queries[0].coverage >= queries.last().unwrap().coverage);
+/// # Ok::<(), mcdc_core::McdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LabelingPlan {
+    queries: Vec<LabelQuery>,
+    /// Finest-granularity cluster of every object, for propagation.
+    fine_labels: Vec<usize>,
+    /// Medoid of every finest cluster.
+    fine_medoids: Vec<usize>,
+}
+
+impl LabelingPlan {
+    /// Builds the curriculum: per granularity (coarsest first), the medoid
+    /// of every cluster, ordered by cluster size within the level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granular` was not produced from `table` (length mismatch).
+    pub fn new(table: &CategoricalTable, granular: &MgcplResult) -> Self {
+        assert_eq!(
+            granular.partitions[0].len(),
+            table.n_rows(),
+            "granular result must describe the same table"
+        );
+        let mut queries = Vec::new();
+        // Coarsest granularity first: highest coverage per query.
+        for (level, (partition, &k)) in
+            granular.partitions.iter().zip(&granular.kappa).enumerate().rev()
+        {
+            let mut level_queries = Vec::with_capacity(k);
+            for cluster in 0..k {
+                let members: Vec<usize> =
+                    (0..table.n_rows()).filter(|&i| partition[i] == cluster).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let medoid = medoid_of(table, &members);
+                level_queries.push(LabelQuery {
+                    object: medoid,
+                    granularity: level,
+                    cluster,
+                    coverage: members.len(),
+                });
+            }
+            level_queries.sort_by_key(|q| std::cmp::Reverse(q.coverage));
+            queries.extend(level_queries);
+        }
+
+        let fine_labels = granular.partitions[0].clone();
+        let k_fine = granular.kappa[0];
+        let fine_medoids = (0..k_fine)
+            .map(|cluster| {
+                let members: Vec<usize> =
+                    (0..table.n_rows()).filter(|&i| fine_labels[i] == cluster).collect();
+                medoid_of(table, &members)
+            })
+            .collect();
+        LabelingPlan { queries, fine_labels, fine_medoids }
+    }
+
+    /// The queries in curriculum order (coarse medoids first).
+    pub fn queries(&self) -> &[LabelQuery] {
+        &self.queries
+    }
+
+    /// The expert-query budget needed to cover every finest micro-cluster.
+    pub fn full_budget(&self) -> usize {
+        self.fine_medoids.len()
+    }
+
+    /// Propagates expert labels acquired on (object, label) pairs to all
+    /// objects through their finest micro-cluster; unlabeled clusters get
+    /// `None`.
+    pub fn propagate(&self, answers: &[(usize, usize)]) -> Vec<Option<usize>> {
+        let k_fine = self.fine_medoids.len();
+        let mut cluster_label: Vec<Option<usize>> = vec![None; k_fine];
+        for &(object, label) in answers {
+            if let Some(&fine) = self.fine_labels.get(object) {
+                cluster_label[fine] = Some(label);
+            }
+        }
+        self.fine_labels.iter().map(|&f| cluster_label[f]).collect()
+    }
+}
+
+/// The member minimizing total Hamming distance to the others (ties: lowest
+/// index). O(|members|²·d) — intended for per-cluster medoids, not the whole
+/// table.
+fn medoid_of(table: &CategoricalTable, members: &[usize]) -> usize {
+    // For large clusters approximate via the profile mode's nearest member.
+    if members.len() > 512 {
+        let profile = ClusterProfile::from_members(table, members);
+        let mode = profile.mode();
+        return members
+            .iter()
+            .copied()
+            .min_by_key(|&i| {
+                table.row(i).iter().zip(&mode).filter(|(a, b)| a != b).count()
+            })
+            .expect("members are non-empty");
+    }
+    members
+        .iter()
+        .copied()
+        .min_by_key(|&i| {
+            members
+                .iter()
+                .map(|&j| table.row(i).iter().zip(table.row(j)).filter(|(a, b)| a != b).count())
+                .sum::<usize>()
+        })
+        .expect("members are non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mgcpl;
+    use categorical_data::synth::GeneratorConfig;
+
+    fn setup() -> (categorical_data::Dataset, MgcplResult) {
+        let data = GeneratorConfig::new("al", 300, vec![4; 8], 3)
+            .subclusters(2)
+            .shared_fraction(0.7)
+            .noise(0.1)
+            .generate(2)
+            .dataset;
+        let granular = Mgcpl::builder().seed(1).build().fit(data.table()).unwrap();
+        (data, granular)
+    }
+
+    #[test]
+    fn queries_cover_every_cluster_of_every_granularity() {
+        let (data, granular) = setup();
+        let plan = LabelingPlan::new(data.table(), &granular);
+        let expected: usize = granular.kappa.iter().sum();
+        assert_eq!(plan.queries().len(), expected);
+    }
+
+    #[test]
+    fn coarse_queries_come_first() {
+        let (data, granular) = setup();
+        let plan = LabelingPlan::new(data.table(), &granular);
+        let levels: Vec<usize> = plan.queries().iter().map(|q| q.granularity).collect();
+        // Levels are non-increasing (coarsest = highest index first).
+        assert!(levels.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn propagation_labels_everything_when_all_fine_medoids_answered() {
+        let (data, granular) = setup();
+        let plan = LabelingPlan::new(data.table(), &granular);
+        // Answer every finest-granularity query with its true class.
+        let answers: Vec<(usize, usize)> = plan
+            .queries()
+            .iter()
+            .filter(|q| q.granularity == 0)
+            .map(|q| (q.object, data.labels()[q.object]))
+            .collect();
+        assert_eq!(answers.len(), plan.full_budget());
+        let propagated = plan.propagate(&answers);
+        assert!(propagated.iter().all(Option::is_some));
+        // Label-efficiency: the propagated labels should agree with truth far
+        // better than chance while using only `full_budget` expert queries.
+        let correct = propagated
+            .iter()
+            .zip(data.labels())
+            .filter(|(p, &t)| p.unwrap() == t)
+            .count();
+        let acc = correct as f64 / data.n_rows() as f64;
+        assert!(acc > 0.6, "propagated accuracy {acc}");
+        assert!(plan.full_budget() < data.n_rows() / 4, "budget should be small");
+    }
+
+    #[test]
+    fn propagation_handles_partial_answers() {
+        let (data, granular) = setup();
+        let plan = LabelingPlan::new(data.table(), &granular);
+        let first = plan.queries()[0];
+        let propagated = plan.propagate(&[(first.object, 9)]);
+        // Only the micro-cluster containing the answered object is labeled.
+        assert!(propagated.iter().any(|l| l == &Some(9)));
+        assert!(propagated.iter().any(Option::is_none));
+    }
+}

@@ -1,0 +1,429 @@
+//! CAME — Cluster Aggregation based on MGCPL Encoding (Algorithm 2).
+//!
+//! Feature-weighted k-modes over the Γ encoding: objects are assigned to the
+//! mode minimizing the θ-weighted Hamming distance (Eq. 20), and feature
+//! importances θ are refreshed from per-feature intra-cluster agreement
+//! (Eqs. 21–22) until the partition reaches a fixpoint.
+
+use categorical_data::{CategoricalTable, MISSING};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{ClusterProfile, McdcError};
+
+/// How CAME picks its initial modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CameInit {
+    /// Derive modes from the finest MGCPL granularity with at least `k`
+    /// clusters: take the `k` largest clusters there and use their modes.
+    /// Deterministic given Γ — this is what makes MCDC's Table III standard
+    /// deviations vanish.
+    #[default]
+    GranularityGuided,
+    /// Pick `k` distinct random objects as initial modes (classic k-modes).
+    RandomObjects,
+}
+
+/// Configurable CAME aggregator. Construct via [`Came::builder`].
+///
+/// # Example
+///
+/// ```
+/// use mcdc_core::{encode_partitions, Came};
+///
+/// // Two granularities over 6 objects; seek k = 2 final clusters.
+/// let fine = vec![0usize, 0, 1, 1, 2, 2];
+/// let coarse = vec![0usize, 0, 0, 0, 1, 1];
+/// let encoding = encode_partitions(&[fine, coarse])?;
+/// let result = Came::builder().build().fit(&encoding, 2)?;
+/// assert_eq!(result.labels().len(), 6);
+/// assert_eq!(result.labels()[0], result.labels()[1]);
+/// assert_eq!(result.labels()[4], result.labels()[5]);
+/// # Ok::<(), mcdc_core::McdcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Came {
+    max_iterations: usize,
+    weighted: bool,
+    init: CameInit,
+    seed: u64,
+}
+
+/// Builder for [`Came`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CameBuilder {
+    max_iterations: usize,
+    weighted: bool,
+    init: CameInit,
+    seed: u64,
+}
+
+impl Default for CameBuilder {
+    fn default() -> Self {
+        CameBuilder { max_iterations: 100, weighted: true, init: CameInit::default(), seed: 0 }
+    }
+}
+
+impl CameBuilder {
+    /// Caps the alternating minimization iterations (the paper's `T`).
+    pub fn max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Toggles the θ feature weighting of Eqs. (21)–(22); `false` freezes
+    /// uniform weights (ablation MCDC₄).
+    pub fn weighted(mut self, on: bool) -> Self {
+        self.weighted = on;
+        self
+    }
+
+    /// Sets the mode initialization strategy.
+    pub fn init(mut self, init: CameInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Seeds the random fallback initialization.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and builds the aggregator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iterations` is zero.
+    pub fn build(self) -> Came {
+        assert!(self.max_iterations > 0, "max_iterations must be positive");
+        Came {
+            max_iterations: self.max_iterations,
+            weighted: self.weighted,
+            init: self.init,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Output of one CAME run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CameResult {
+    labels: Vec<usize>,
+    theta: Vec<f64>,
+    modes: Vec<Vec<u32>>,
+    iterations: usize,
+}
+
+impl CameResult {
+    /// Final cluster labels, dense `0..k`.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Learned feature importances `Θ = {θ_1, …, θ_σ}` (sum to 1).
+    pub fn theta(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// Final cluster modes `Z` in Γ-space.
+    pub fn modes(&self) -> &[Vec<u32>] {
+        &self.modes
+    }
+
+    /// Alternating-minimization iterations used.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+impl Came {
+    /// Starts building a CAME aggregator with paper-default behaviour.
+    pub fn builder() -> CameBuilder {
+        CameBuilder::default()
+    }
+
+    /// Clusters the Γ `encoding` into `k` clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdcError::EmptyInput`] for an empty encoding and
+    /// [`McdcError::InvalidK`] when `k` is zero or exceeds `n`.
+    pub fn fit(&self, encoding: &CategoricalTable, k: usize) -> Result<CameResult, McdcError> {
+        let n = encoding.n_rows();
+        if n == 0 {
+            return Err(McdcError::EmptyInput);
+        }
+        if k == 0 || k > n {
+            return Err(McdcError::InvalidK { k, n });
+        }
+        let sigma = encoding.n_features();
+        let mut theta = vec![1.0 / sigma as f64; sigma];
+        let mut modes = self.initial_modes(encoding, k);
+
+        let mut labels = vec![usize::MAX; n];
+        let mut iterations = 0;
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            // Step 1: fix Θ and Z, recompute the partition Q (Eq. 20).
+            let mut changed = false;
+            for i in 0..n {
+                let row = encoding.row(i);
+                let mut best = 0usize;
+                let mut best_dist = f64::INFINITY;
+                for (l, mode) in modes.iter().enumerate() {
+                    let dist = weighted_hamming(row, mode, &theta);
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best = l;
+                    }
+                }
+                if labels[i] != best {
+                    labels[i] = best;
+                    changed = true;
+                }
+            }
+
+            // Re-seed emptied clusters on the objects farthest from their
+            // current mode so the sought k is always delivered.
+            reseed_empty_clusters(encoding, &mut labels, k, &theta, &modes);
+
+            // Step 2: fix Q, update modes Z and feature weights Θ (Eqs. 21–22).
+            modes = modes_of(encoding, &labels, k);
+            if self.weighted {
+                theta = update_theta(encoding, &labels, &modes);
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        Ok(CameResult { labels, theta, modes, iterations })
+    }
+
+    /// Picks initial modes per the configured strategy.
+    fn initial_modes(&self, encoding: &CategoricalTable, k: usize) -> Vec<Vec<u32>> {
+        if self.init == CameInit::GranularityGuided {
+            if let Some(modes) = granularity_guided_modes(encoding, k) {
+                return modes;
+            }
+        }
+        // Random distinct objects (classic k-modes fallback).
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut indices: Vec<usize> = (0..encoding.n_rows()).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(k);
+        indices.iter().map(|&i| encoding.row(i).to_vec()).collect()
+    }
+}
+
+/// θ-weighted Hamming distance of Eq. (20)'s inner sum.
+fn weighted_hamming(row: &[u32], mode: &[u32], theta: &[f64]) -> f64 {
+    row.iter()
+        .zip(mode)
+        .zip(theta)
+        .map(|((&a, &b), &w)| if a == b && a != MISSING { 0.0 } else { w })
+        .sum()
+}
+
+/// Initial modes from the finest granularity with ≥ k clusters: the modes of
+/// its k largest clusters. Returns `None` when no granularity is wide enough.
+fn granularity_guided_modes(encoding: &CategoricalTable, k: usize) -> Option<Vec<Vec<u32>>> {
+    let n = encoding.n_rows();
+    // Granularities are ordered finest → coarsest; scan from the coarsest end
+    // for the *last* (coarsest) feature still offering at least k clusters, so
+    // modes reflect the most aggregated view that can seed k clusters.
+    let sigma = encoding.n_features();
+    let mut chosen: Option<usize> = None;
+    for j in (0..sigma).rev() {
+        if encoding.schema().domain(j).cardinality() as usize >= k {
+            chosen = Some(j);
+            break;
+        }
+    }
+    let j = chosen?;
+    let kj = encoding.schema().domain(j).cardinality() as usize;
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); kj];
+    for i in 0..n {
+        members[encoding.value(i, j) as usize].push(i);
+    }
+    members.sort_by_key(|m| std::cmp::Reverse(m.len()));
+    members.truncate(k);
+    if members.iter().any(Vec::is_empty) {
+        return None;
+    }
+    Some(
+        members
+            .iter()
+            .map(|m| ClusterProfile::from_members(encoding, m).mode())
+            .collect(),
+    )
+}
+
+/// Recomputes per-cluster modes from the current labels.
+fn modes_of(encoding: &CategoricalTable, labels: &[usize], k: usize) -> Vec<Vec<u32>> {
+    let mut profiles: Vec<ClusterProfile> =
+        (0..k).map(|_| ClusterProfile::new(encoding.schema())).collect();
+    for (i, &l) in labels.iter().enumerate() {
+        profiles[l].add(encoding.row(i));
+    }
+    profiles.iter().map(ClusterProfile::mode).collect()
+}
+
+/// Feature weight update of Eqs. (21)–(22): θ_r ∝ the number of objects
+/// agreeing with their cluster mode in feature r.
+fn update_theta(encoding: &CategoricalTable, labels: &[usize], modes: &[Vec<u32>]) -> Vec<f64> {
+    let sigma = encoding.n_features();
+    let mut intra = vec![0.0f64; sigma];
+    for (i, &l) in labels.iter().enumerate() {
+        let row = encoding.row(i);
+        for (r, slot) in intra.iter_mut().enumerate() {
+            if row[r] == modes[l][r] && row[r] != MISSING {
+                *slot += 1.0;
+            }
+        }
+    }
+    let total: f64 = intra.iter().sum();
+    if total <= f64::EPSILON {
+        return vec![1.0 / sigma as f64; sigma];
+    }
+    intra.iter().map(|&v| v / total).collect()
+}
+
+/// Moves the farthest objects into any emptied cluster so exactly `k`
+/// clusters stay populated.
+fn reseed_empty_clusters(
+    encoding: &CategoricalTable,
+    labels: &mut [usize],
+    k: usize,
+    theta: &[f64],
+    modes: &[Vec<u32>],
+) {
+    let mut sizes = vec![0usize; k];
+    for &l in labels.iter() {
+        sizes[l] += 1;
+    }
+    for l in 0..k {
+        if sizes[l] > 0 {
+            continue;
+        }
+        // Take the object farthest from its own mode, among clusters with
+        // more than one member.
+        let mut worst: Option<(usize, f64)> = None;
+        for (i, &li) in labels.iter().enumerate() {
+            if sizes[li] <= 1 {
+                continue;
+            }
+            let dist = weighted_hamming(encoding.row(i), &modes[li], theta);
+            if worst.is_none_or(|(_, w)| dist > w) {
+                worst = Some((i, dist));
+            }
+        }
+        if let Some((i, _)) = worst {
+            sizes[labels[i]] -= 1;
+            labels[i] = l;
+            sizes[l] = 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode_partitions;
+
+    fn two_granularities() -> CategoricalTable {
+        // 8 objects: fine = 4 clusters of 2; coarse = 2 clusters of 4.
+        let fine = vec![0usize, 0, 1, 1, 2, 2, 3, 3];
+        let coarse = vec![0usize, 0, 0, 0, 1, 1, 1, 1];
+        encode_partitions(&[fine, coarse]).unwrap()
+    }
+
+    #[test]
+    fn recovers_coarse_partition_for_k2() {
+        let encoding = two_granularities();
+        let result = Came::builder().build().fit(&encoding, 2).unwrap();
+        let l = result.labels();
+        assert_eq!(l[0], l[3]);
+        assert_eq!(l[4], l[7]);
+        assert_ne!(l[0], l[4]);
+    }
+
+    #[test]
+    fn recovers_fine_partition_for_k4() {
+        let encoding = two_granularities();
+        let result = Came::builder().build().fit(&encoding, 4).unwrap();
+        let l = result.labels();
+        assert_eq!(l[0], l[1]);
+        assert_eq!(l[2], l[3]);
+        assert_ne!(l[0], l[2]);
+        let distinct: std::collections::HashSet<_> = l.iter().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn theta_sums_to_one() {
+        let encoding = two_granularities();
+        let result = Came::builder().build().fit(&encoding, 2).unwrap();
+        assert!((result.theta().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(result.theta().len(), 2);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let encoding = two_granularities();
+        assert!(matches!(
+            Came::builder().build().fit(&encoding, 0),
+            Err(McdcError::InvalidK { k: 0, .. })
+        ));
+        assert!(matches!(
+            Came::builder().build().fit(&encoding, 9),
+            Err(McdcError::InvalidK { k: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn k_equal_n_gives_singletons() {
+        let encoding = encode_partitions(&[vec![0, 1, 2]]).unwrap();
+        let result = Came::builder().build().fit(&encoding, 3).unwrap();
+        let distinct: std::collections::HashSet<_> = result.labels().iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn unweighted_mode_keeps_uniform_theta() {
+        let encoding = two_granularities();
+        let result = Came::builder().weighted(false).build().fit(&encoding, 2).unwrap();
+        assert_eq!(result.theta(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn random_init_still_partitions_everything() {
+        let encoding = two_granularities();
+        let result = Came::builder()
+            .init(CameInit::RandomObjects)
+            .seed(3)
+            .build()
+            .fit(&encoding, 2)
+            .unwrap();
+        assert_eq!(result.labels().len(), 8);
+        assert!(result.labels().iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn weighted_hamming_ignores_matching_features() {
+        let theta = [0.7, 0.3];
+        assert_eq!(weighted_hamming(&[1, 2], &[1, 2], &theta), 0.0);
+        assert!((weighted_hamming(&[1, 2], &[0, 2], &theta) - 0.7).abs() < 1e-12);
+        assert!((weighted_hamming(&[1, 2], &[0, 0], &theta) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_encoding() {
+        let encoding = two_granularities();
+        let came = Came::builder().build();
+        assert_eq!(came.fit(&encoding, 2).unwrap(), came.fit(&encoding, 2).unwrap());
+    }
+}

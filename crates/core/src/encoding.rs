@@ -1,0 +1,123 @@
+//! Γ encoding: turning MGCPL's multi-granular partitions into a categorical
+//! table whose features are the per-granularity cluster labels.
+//!
+//! Each granularity `Y_j` becomes one feature with cardinality `k_j`, so the
+//! σ-feature embedding is itself categorical data — which is why any
+//! categorical clusterer (GUDMM, FKMAWCW, …) can run on it, giving the
+//! paper's `MCDC+G.` / `MCDC+F.` variants.
+
+use categorical_data::{CategoricalTable, FeatureDomain, Schema};
+
+use crate::{McdcError, MgcplResult};
+
+/// Encodes partitions (finest first) into a categorical table: object `i`'s
+/// value in feature `j` is its cluster label in partition `j`.
+///
+/// # Errors
+///
+/// Returns [`McdcError::EmptyInput`] if `partitions` is empty or the
+/// partitions are empty, and [`McdcError::InvalidConfig`] if lengths
+/// disagree.
+///
+/// # Example
+///
+/// ```
+/// use mcdc_core::encode_partitions;
+///
+/// let fine = vec![0usize, 1, 2, 3];
+/// let coarse = vec![0usize, 0, 1, 1];
+/// let encoding = encode_partitions(&[fine, coarse])?;
+/// assert_eq!(encoding.n_rows(), 4);
+/// assert_eq!(encoding.n_features(), 2);
+/// assert_eq!(encoding.row(3), &[3, 1]);
+/// # Ok::<(), mcdc_core::McdcError>(())
+/// ```
+pub fn encode_partitions(partitions: &[Vec<usize>]) -> Result<CategoricalTable, McdcError> {
+    if partitions.is_empty() || partitions[0].is_empty() {
+        return Err(McdcError::EmptyInput);
+    }
+    let n = partitions[0].len();
+    if partitions.iter().any(|p| p.len() != n) {
+        return Err(McdcError::InvalidConfig {
+            parameter: "partitions",
+            message: "all granularities must label the same number of objects".into(),
+        });
+    }
+    let domains: Vec<FeatureDomain> = partitions
+        .iter()
+        .enumerate()
+        .map(|(j, labels)| {
+            let k = labels.iter().copied().max().unwrap_or(0) + 1;
+            FeatureDomain::anonymous(format!("granularity{j}"), k as u32)
+        })
+        .collect();
+    let schema = Schema::new(domains);
+    let mut data = Vec::with_capacity(n * partitions.len());
+    for i in 0..n {
+        for labels in partitions {
+            data.push(labels[i] as u32);
+        }
+    }
+    CategoricalTable::from_flat(schema, data).map_err(|e| McdcError::InvalidConfig {
+        parameter: "partitions",
+        message: e.to_string(),
+    })
+}
+
+/// Convenience: encodes an [`MgcplResult`]'s Γ directly.
+///
+/// Degenerate granularities with a single cluster are dropped — a constant
+/// feature carries no affiliation information and destabilizes downstream
+/// weighting schemes (an inverse-cost attribute weight sees zero cost and
+/// saturates on it). When *every* granularity is degenerate, one is kept so
+/// the encoding is never empty.
+///
+/// # Errors
+///
+/// Same conditions as [`encode_partitions`].
+pub fn encode_mgcpl(result: &MgcplResult) -> Result<CategoricalTable, McdcError> {
+    let informative: Vec<Vec<usize>> = result
+        .partitions
+        .iter()
+        .zip(&result.kappa)
+        .filter(|(_, &k)| k >= 2)
+        .map(|(p, _)| p.clone())
+        .collect();
+    if informative.is_empty() {
+        return encode_partitions(&result.partitions[..1]);
+    }
+    encode_partitions(&informative)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_columnwise() {
+        let encoding =
+            encode_partitions(&[vec![0, 1, 0], vec![1, 1, 0]]).unwrap();
+        assert_eq!(encoding.row(0), &[0, 1]);
+        assert_eq!(encoding.row(1), &[1, 1]);
+        assert_eq!(encoding.row(2), &[0, 0]);
+        assert_eq!(encoding.schema().domain(0).cardinality(), 2);
+    }
+
+    #[test]
+    fn cardinalities_track_max_label() {
+        let encoding = encode_partitions(&[vec![0, 4]]).unwrap();
+        assert_eq!(encoding.schema().domain(0).cardinality(), 5);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(encode_partitions(&[]).unwrap_err(), McdcError::EmptyInput);
+        assert_eq!(encode_partitions(&[vec![]]).unwrap_err(), McdcError::EmptyInput);
+    }
+
+    #[test]
+    fn ragged_partitions_rejected() {
+        let err = encode_partitions(&[vec![0, 1], vec![0]]).unwrap_err();
+        assert!(matches!(err, McdcError::InvalidConfig { parameter: "partitions", .. }));
+    }
+}

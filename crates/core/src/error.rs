@@ -1,0 +1,39 @@
+use std::fmt;
+
+/// Error raised by the MCDC pipeline components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum McdcError {
+    /// The input table holds no objects.
+    EmptyInput,
+    /// The requested number of clusters is invalid for the input.
+    InvalidK {
+        /// The requested number of clusters.
+        k: usize,
+        /// Number of objects available.
+        n: usize,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable constraint description.
+        message: String,
+    },
+}
+
+impl fmt::Display for McdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McdcError::EmptyInput => write!(f, "input table holds no objects"),
+            McdcError::InvalidK { k, n } => {
+                write!(f, "cannot form {k} clusters from {n} objects")
+            }
+            McdcError::InvalidConfig { parameter, message } => {
+                write!(f, "invalid configuration for {parameter}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for McdcError {}

@@ -1,0 +1,577 @@
+//! MGCPL — Multi-Granular Competitive Penalization Learning (Algorithm 1).
+//!
+//! Competitive learning over cluster frequency profiles with a *rival
+//! penalization* twist: per input object the winning cluster is rewarded
+//! (Eq. 12) while its nearest rival is pushed away (Eq. 13), so redundant
+//! seed clusters starve, empty out, and are pruned. When the partition
+//! reaches a fixpoint the learner records the surviving cluster count,
+//! resets its competition statistics, and re-launches from the surviving
+//! clusters — producing one partition per *granularity* until two
+//! consecutive stages agree (`k_new == k_old`).
+
+use categorical_data::stats::FrequencyTable;
+use categorical_data::CategoricalTable;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::weights::feature_weights;
+use crate::{ClusterProfile, LearningTrace, McdcError, StageRecord};
+
+/// Configurable MGCPL learner. Construct via [`Mgcpl::builder`].
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::synth::GeneratorConfig;
+/// use mcdc_core::Mgcpl;
+///
+/// let data = GeneratorConfig::new("demo", 240, vec![4; 6], 3)
+///     .noise(0.05)
+///     .generate(5)
+///     .dataset;
+/// let result = Mgcpl::builder().seed(1).build().fit(data.table())?;
+/// assert!(!result.partitions.is_empty());
+/// // κ is strictly decreasing across granularities.
+/// assert!(result.kappa.windows(2).all(|w| w[0] > w[1]) || result.kappa.len() == 1);
+/// # Ok::<(), mcdc_core::McdcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mgcpl {
+    learning_rate: f64,
+    initial_k: Option<usize>,
+    max_inner_iterations: usize,
+    max_stages: usize,
+    weighted_similarity: bool,
+    random_init: bool,
+    seed: u64,
+}
+
+/// Builder for [`Mgcpl`]; defaults follow the paper (`η = 0.03`,
+/// `k₀ = √n`, feature weighting on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MgcplBuilder {
+    learning_rate: f64,
+    initial_k: Option<usize>,
+    max_inner_iterations: usize,
+    max_stages: usize,
+    weighted_similarity: bool,
+    random_init: bool,
+    seed: u64,
+}
+
+impl Default for MgcplBuilder {
+    fn default() -> Self {
+        MgcplBuilder {
+            learning_rate: 0.03,
+            initial_k: None,
+            max_inner_iterations: 8,
+            max_stages: 64,
+            weighted_similarity: true,
+            random_init: true,
+            seed: 0,
+        }
+    }
+}
+
+impl MgcplBuilder {
+    /// Sets the learning rate `η` (paper default 0.03).
+    pub fn learning_rate(mut self, eta: f64) -> Self {
+        self.learning_rate = eta;
+        self
+    }
+
+    /// Overrides the initial cluster count `k₀` (paper default `√n`).
+    pub fn initial_k(mut self, k0: usize) -> Self {
+        self.initial_k = Some(k0);
+        self
+    }
+
+    /// Caps the inner passes per stage (default 8 — the paper notes the
+    /// iteration count `I` is small). The cap doubles as the granularity
+    /// resolution: each stage ends at the earlier of the `Q` fixpoint or the
+    /// cap, records the surviving cluster count as one granularity, and
+    /// re-launches, so a tight cap yields finer-grained κ traces while a
+    /// loose one lets whole cascades collapse within a single stage.
+    pub fn max_inner_iterations(mut self, cap: usize) -> Self {
+        self.max_inner_iterations = cap;
+        self
+    }
+
+    /// Caps the number of granularity stages (safety valve).
+    pub fn max_stages(mut self, cap: usize) -> Self {
+        self.max_stages = cap;
+        self
+    }
+
+    /// Toggles the feature-weighted similarity of Eq. (14) (on by default;
+    /// off reduces to the plain Eq. (1) similarity).
+    pub fn weighted_similarity(mut self, on: bool) -> Self {
+        self.weighted_similarity = on;
+        self
+    }
+
+    /// Toggles between Alg. 1's random-object seeding (the default) and a
+    /// deterministic frequent-row seeding that plants seeds on the most
+    /// repeated rows. The deterministic variant removes run-to-run variance
+    /// on data with heavy row overlap, but degenerates to first-k₀ objects
+    /// when rows are mostly unique — keep the default unless the data is
+    /// known to be overlap-dominated.
+    pub fn random_init(mut self, on: bool) -> Self {
+        self.random_init = on;
+        self
+    }
+
+    /// Seeds the per-pass presentation order (and the seed choice when
+    /// `random_init` is on).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and builds the learner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not in `(0, 1)` or a cap is zero.
+    pub fn build(self) -> Mgcpl {
+        assert!(
+            self.learning_rate > 0.0 && self.learning_rate < 1.0,
+            "learning rate must be in (0, 1)"
+        );
+        assert!(self.max_inner_iterations > 0, "max_inner_iterations must be positive");
+        assert!(self.max_stages > 0, "max_stages must be positive");
+        Mgcpl {
+            learning_rate: self.learning_rate,
+            initial_k: self.initial_k,
+            max_inner_iterations: self.max_inner_iterations,
+            max_stages: self.max_stages,
+            weighted_similarity: self.weighted_similarity,
+            random_init: self.random_init,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Multi-granular output of one MGCPL run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MgcplResult {
+    /// The partitions `Γ = {Y₁, …, Y_σ}`, finest first; labels are dense
+    /// `0..kappa[j]` per granularity.
+    pub partitions: Vec<Vec<usize>>,
+    /// The cluster counts `κ = {k₁ > k₂ > … > k_σ}` (strictly decreasing;
+    /// the terminal repeat stage is not recorded).
+    pub kappa: Vec<usize>,
+    /// Per-stage learning trace (Fig. 5).
+    pub trace: LearningTrace,
+}
+
+impl MgcplResult {
+    /// The coarsest partition `Y_σ` (what ablation MCDC₃ clusters with).
+    pub fn coarsest(&self) -> &[usize] {
+        self.partitions.last().expect("MGCPL always produces at least one partition")
+    }
+
+    /// Number of granularity levels `σ`.
+    pub fn sigma(&self) -> usize {
+        self.partitions.len()
+    }
+}
+
+/// The sigmoid cluster weight of Eq. (11): `u = 1 / (1 + e^(−10δ+5))`.
+fn sigmoid_weight(delta: f64) -> f64 {
+    1.0 / (1.0 + (-10.0 * delta + 5.0).exp())
+}
+
+/// One live cluster's competition state.
+#[derive(Debug, Clone)]
+struct ClusterState {
+    profile: ClusterProfile,
+    /// Award/penalty accumulator `δ_l`; `u_l` derives from it via Eq. (11).
+    delta: f64,
+    /// Winning count `g_l` of the previous pass (drives `ρ_l`, Eq. 7).
+    wins_prev: u64,
+    /// Winning count of the in-progress pass.
+    wins_now: u64,
+    /// Feature weights `ω_·l` (Eq. 18); uniform until the first pass ends.
+    omega: Vec<f64>,
+}
+
+impl Mgcpl {
+    /// Starts building an MGCPL learner with paper-default parameters.
+    pub fn builder() -> MgcplBuilder {
+        MgcplBuilder::default()
+    }
+
+    /// Runs multi-granular learning on `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdcError::EmptyInput`] for an empty table and
+    /// [`McdcError::InvalidK`] if a configured `k₀` exceeds `n`.
+    pub fn fit(&self, table: &CategoricalTable) -> Result<MgcplResult, McdcError> {
+        let n = table.n_rows();
+        if n == 0 {
+            return Err(McdcError::EmptyInput);
+        }
+        let d = table.n_features();
+        let k0 = match self.initial_k {
+            Some(k) => {
+                if k == 0 || k > n {
+                    return Err(McdcError::InvalidK { k, n });
+                }
+                k
+            }
+            None => ((n as f64).sqrt().round() as usize).clamp(2, n),
+        };
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let global = FrequencyTable::from_table(table);
+
+        // Seed clusters on k₀ random distinct objects (Alg. 1 step 3), or —
+        // when `random_init` is off — on the k₀ most frequent distinct rows,
+        // the cores of the natural micro-clusters formed by overlapping
+        // objects (the paper's Fig. 2(b) spheres).
+        let seeds: Vec<usize> = if self.random_init {
+            let mut seeds: Vec<usize> = (0..n).collect();
+            seeds.shuffle(&mut rng);
+            seeds.truncate(k0);
+            seeds
+        } else {
+            frequent_row_seeds(table, k0)
+        };
+
+        let uniform_omega = vec![1.0 / d as f64; d];
+        let mut clusters: Vec<ClusterState> = seeds
+            .iter()
+            .map(|&i| {
+                let mut profile = ClusterProfile::new(table.schema());
+                profile.add(table.row(i));
+                ClusterState {
+                    profile,
+                    delta: 1.0,
+                    wins_prev: 0,
+                    wins_now: 0,
+                    omega: uniform_omega.clone(),
+                }
+            })
+            .collect();
+        // assignment[i] = index into `clusters` (stable across pruning via
+        // re-mapping), None until the object is first processed.
+        let mut assignment: Vec<Option<usize>> = vec![None; n];
+        for (c, &i) in seeds.iter().enumerate() {
+            assignment[i] = Some(c);
+        }
+
+        let mut partitions: Vec<Vec<usize>> = Vec::new();
+        let mut kappa: Vec<usize> = Vec::new();
+        let mut trace = LearningTrace { initial_k: k0, stages: Vec::new() };
+        let mut k_old = clusters.len();
+
+        for stage in 1..=self.max_stages {
+            let k_before = clusters.len();
+            let inner_iterations =
+                self.run_stage(table, &global, &mut clusters, &mut assignment, &mut rng);
+            let k_after = clusters.len();
+
+            trace.stages.push(StageRecord { stage, k_before, k_after, inner_iterations });
+
+            let converged = stage > 1 && k_after == k_old;
+            if !converged {
+                partitions.push(dense_labels(&assignment));
+                kappa.push(k_after);
+            }
+            if converged || k_after <= 1 {
+                break;
+            }
+            k_old = k_after;
+
+            // Re-launch (Alg. 1 step 13): keep memberships/profiles, clear
+            // the statistics that drive convergence.
+            for cluster in clusters.iter_mut() {
+                cluster.delta = 1.0;
+                cluster.wins_prev = 0;
+                cluster.wins_now = 0;
+                cluster.omega = uniform_omega.clone();
+            }
+        }
+
+        Ok(MgcplResult { partitions, kappa, trace })
+    }
+
+    /// Runs competitive penalization learning until the partition fixpoint,
+    /// pruning emptied clusters; returns the number of passes used.
+    fn run_stage(
+        &self,
+        table: &CategoricalTable,
+        global: &FrequencyTable,
+        clusters: &mut Vec<ClusterState>,
+        assignment: &mut [Option<usize>],
+        rng: &mut ChaCha8Rng,
+    ) -> usize {
+        let n = table.n_rows();
+        let eta = self.learning_rate;
+        let mut passes = 0;
+        // Scratch buffers reused across objects to keep the pass allocation-free.
+        let mut scores: Vec<f64> = Vec::new();
+        let mut similarities: Vec<f64> = Vec::new();
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for _ in 0..self.max_inner_iterations {
+            passes += 1;
+            let mut changed = false;
+            // Online competitive learning presents inputs in random order so
+            // sequential award/penalty cascades don't depend on storage order.
+            order.shuffle(rng);
+
+            // ρ_l uses the winning counts of the previous pass (Eq. 7).
+            let total_prev: u64 = clusters.iter().map(|c| c.wins_prev).sum();
+            for cluster in clusters.iter_mut() {
+                cluster.wins_now = 0;
+            }
+
+            for &i in &order {
+                let row = table.row(i);
+                // Score every live cluster: (1 − ρ_l) · u_l · s(x_i, C_l).
+                scores.clear();
+                similarities.clear();
+                for cluster in clusters.iter() {
+                    let rho = if total_prev == 0 {
+                        0.0
+                    } else {
+                        cluster.wins_prev as f64 / total_prev as f64
+                    };
+                    let u = sigmoid_weight(cluster.delta);
+                    let s = if self.weighted_similarity {
+                        cluster.profile.weighted_similarity(row, &cluster.omega)
+                    } else {
+                        cluster.profile.similarity(row)
+                    };
+                    similarities.push(s);
+                    scores.push((1.0 - rho) * u * s);
+                }
+                // Winner v (Eq. 6) and rival nearest h (Eq. 9).
+                let (mut best, mut rival) = (0usize, usize::MAX);
+                for c in 1..scores.len() {
+                    if scores[c] > scores[best] {
+                        rival = best;
+                        best = c;
+                    } else if rival == usize::MAX || scores[c] > scores[rival] {
+                        rival = c;
+                    }
+                }
+
+                // Assign x_i to the winner (Eq. 4 / Eq. 10).
+                let previous = assignment[i];
+                if previous != Some(best) {
+                    if let Some(p) = previous {
+                        clusters[p].profile.remove(row);
+                    }
+                    clusters[best].profile.add(row);
+                    assignment[i] = Some(best);
+                    changed = true;
+                }
+                clusters[best].wins_now += 1;
+
+                // Award the winner (Eq. 12), penalize the rival by a step
+                // proportional to how close it came (Eq. 13). δ is clamped
+                // to [0, 1] so u stays in the sigmoid's responsive range
+                // (δ = 1 already yields u ≈ 0.993; unbounded growth would
+                // let long-time winners absorb unlimited penalties).
+                clusters[best].delta = (clusters[best].delta + eta).min(1.0);
+                if rival != usize::MAX {
+                    clusters[rival].delta =
+                        (clusters[rival].delta - eta * similarities[rival]).max(0.0);
+                }
+            }
+
+            // Prune clusters that lost all members. After a prune, reset the
+            // survivors' competition statistics (δ, g): penalties absorbed
+            // while the eliminated cluster was dying must not carry momentum
+            // into the next round, or healthy clusters get dragged down one
+            // after another and the learning overshoots far past the natural
+            // granularity (the re-launch of Alg. 1 step 13 applied at the
+            // elimination event rather than only at stage boundaries).
+            if clusters.iter().any(|c| c.profile.is_empty()) {
+                prune_empty(clusters, assignment);
+                for cluster in clusters.iter_mut() {
+                    cluster.delta = 1.0;
+                    cluster.wins_prev = 0;
+                    cluster.wins_now = 0;
+                }
+                changed = true;
+            }
+
+            // Update ω per cluster (Alg. 1 step 11, Eqs. 15–18).
+            if self.weighted_similarity {
+                for cluster in clusters.iter_mut() {
+                    cluster.omega = feature_weights(&cluster.profile, global);
+                }
+            }
+
+            // ρ smooths over the stage so far (a running win share, DeSieno's
+            // conscience): a per-pass snapshot oscillates at small k — the
+            // handicapped majority loses objects, the roles flip next pass,
+            // profiles blur, and clusters merge past the natural granularity.
+            for cluster in clusters.iter_mut() {
+                cluster.wins_prev += cluster.wins_now;
+            }
+
+            if !changed {
+                break;
+            }
+        }
+        passes
+    }
+}
+
+/// Picks `k0` seed objects deterministically: representatives of the most
+/// frequent distinct rows (ties broken lexicographically), padded with the
+/// lowest-index remaining objects when there are fewer distinct rows.
+fn frequent_row_seeds(table: &CategoricalTable, k0: usize) -> Vec<usize> {
+    let mut groups: std::collections::HashMap<&[u32], (usize, usize)> =
+        std::collections::HashMap::new();
+    for i in 0..table.n_rows() {
+        let entry = groups.entry(table.row(i)).or_insert((0, i));
+        entry.0 += 1;
+    }
+    let mut ranked: Vec<(&[u32], (usize, usize))> = groups.into_iter().collect();
+    ranked.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(b.0)));
+    let mut seeds: Vec<usize> = ranked.iter().take(k0).map(|(_, (_, i))| *i).collect();
+    if seeds.len() < k0 {
+        let chosen: std::collections::HashSet<usize> = seeds.iter().copied().collect();
+        seeds.extend((0..table.n_rows()).filter(|i| !chosen.contains(i)).take(k0 - seeds.len()));
+    }
+    seeds
+}
+
+/// Removes empty clusters and compacts `assignment` indices.
+fn prune_empty(clusters: &mut Vec<ClusterState>, assignment: &mut [Option<usize>]) {
+    let mut remap: Vec<Option<usize>> = Vec::with_capacity(clusters.len());
+    let mut next = 0usize;
+    for cluster in clusters.iter() {
+        if cluster.profile.is_empty() {
+            remap.push(None);
+        } else {
+            remap.push(Some(next));
+            next += 1;
+        }
+    }
+    clusters.retain(|c| !c.profile.is_empty());
+    for slot in assignment.iter_mut() {
+        if let Some(c) = *slot {
+            *slot = remap[c];
+        }
+    }
+}
+
+/// Densifies an assignment into labels `0..k` in first-appearance order.
+fn dense_labels(assignment: &[Option<usize>]) -> Vec<usize> {
+    let mut remap: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    assignment
+        .iter()
+        .map(|slot| {
+            let c = slot.expect("all objects are assigned after a learning pass");
+            let next = remap.len();
+            *remap.entry(c).or_insert(next)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use categorical_data::synth::GeneratorConfig;
+
+    fn separated(n: usize, k: usize, seed: u64) -> CategoricalTable {
+        GeneratorConfig::new("t", n, vec![4; 8], k)
+            .noise(0.05)
+            .generate(seed)
+            .dataset
+            .into_parts()
+            .0
+    }
+
+    #[test]
+    fn sigmoid_weight_matches_eq_11() {
+        // δ = 0.5 is the sigmoid midpoint.
+        assert!((sigmoid_weight(0.5) - 0.5).abs() < 1e-12);
+        assert!(sigmoid_weight(1.0) > 0.99);
+        assert!(sigmoid_weight(0.0) < 0.01);
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let table = CategoricalTable::new(categorical_data::Schema::uniform(2, 2));
+        let err = Mgcpl::builder().build().fit(&table).unwrap_err();
+        assert_eq!(err, McdcError::EmptyInput);
+    }
+
+    #[test]
+    fn oversized_k0_is_rejected() {
+        let table = separated(10, 2, 1);
+        let err = Mgcpl::builder().initial_k(11).build().fit(&table).unwrap_err();
+        assert!(matches!(err, McdcError::InvalidK { k: 11, n: 10 }));
+    }
+
+    #[test]
+    fn kappa_is_strictly_decreasing() {
+        let table = separated(300, 3, 2);
+        let result = Mgcpl::builder().seed(3).build().fit(&table).unwrap();
+        assert!(!result.kappa.is_empty());
+        assert!(result.kappa.windows(2).all(|w| w[0] > w[1]), "kappa={:?}", result.kappa);
+    }
+
+    #[test]
+    fn partitions_cover_all_objects_with_dense_labels() {
+        let table = separated(200, 3, 4);
+        let result = Mgcpl::builder().seed(5).build().fit(&table).unwrap();
+        for (partition, &k) in result.partitions.iter().zip(&result.kappa) {
+            assert_eq!(partition.len(), 200);
+            let mut seen: Vec<usize> = partition.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), k, "labels must be dense 0..k");
+            assert_eq!(*seen.last().unwrap(), k - 1);
+        }
+    }
+
+    #[test]
+    fn converges_near_true_k_on_well_separated_data() {
+        let table = separated(400, 3, 6);
+        let result = Mgcpl::builder().seed(7).build().fit(&table).unwrap();
+        let k_final = *result.kappa.last().unwrap();
+        assert!(
+            (2..=5).contains(&k_final),
+            "expected k_sigma near 3, got {k_final} (kappa={:?})",
+            result.kappa
+        );
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let table = separated(150, 2, 8);
+        let mgcpl = Mgcpl::builder().seed(11).build();
+        let a = mgcpl.fit(&table).unwrap();
+        let b = mgcpl.fit(&table).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unweighted_variant_also_runs() {
+        let table = separated(120, 2, 9);
+        let result =
+            Mgcpl::builder().weighted_similarity(false).seed(1).build().fit(&table).unwrap();
+        assert!(!result.partitions.is_empty());
+    }
+
+    #[test]
+    fn single_distinct_row_collapses_to_one_cluster() {
+        let mut table = CategoricalTable::new(categorical_data::Schema::uniform(3, 2));
+        for _ in 0..40 {
+            table.push_row(&[1, 0, 1]).unwrap();
+        }
+        let result = Mgcpl::builder().seed(2).build().fit(&table).unwrap();
+        assert_eq!(result.trace.final_k(), 1, "identical objects must merge");
+    }
+}

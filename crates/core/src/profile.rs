@@ -1,0 +1,317 @@
+use categorical_data::{CategoricalTable, Schema, MISSING};
+
+/// Incremental frequency profile of one cluster: per-feature counts of every
+/// value among the cluster's current members.
+///
+/// This is the data structure behind the paper's object–cluster similarity
+/// (Eqs. 1–2): `Ψ_{F_r = x_ir}(C_l)` is a direct count lookup and
+/// `Ψ_{F_r ≠ NULL}(C_l)` a per-feature present-count, both maintained in
+/// `O(d)` per membership change, which is what makes a full competitive
+/// learning pass `O(ndk)` and MGCPL overall linear.
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::Schema;
+/// use mcdc_core::ClusterProfile;
+///
+/// let schema = Schema::uniform(2, 3);
+/// let mut profile = ClusterProfile::new(&schema);
+/// profile.add(&[0, 2]);
+/// profile.add(&[0, 1]);
+/// // Feature 0 matches 2/2, feature 1 matches 1/2 => mean 0.75.
+/// assert_eq!(profile.similarity(&[0, 1]), 0.75);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterProfile {
+    /// `counts[r][t]` = members with value `t` in feature `r`.
+    counts: Vec<Vec<u32>>,
+    /// `present[r]` = members with a non-missing value in feature `r`.
+    present: Vec<u32>,
+    /// Number of member objects.
+    size: u32,
+}
+
+impl ClusterProfile {
+    /// Creates an empty profile shaped for `schema`.
+    pub fn new(schema: &Schema) -> Self {
+        ClusterProfile {
+            counts: (0..schema.n_features())
+                .map(|r| vec![0; schema.domain(r).cardinality() as usize])
+                .collect(),
+            present: vec![0; schema.n_features()],
+            size: 0,
+        }
+    }
+
+    /// Creates a profile holding exactly the rows of `table` selected by
+    /// `members`.
+    pub fn from_members(table: &CategoricalTable, members: &[usize]) -> Self {
+        let mut profile = ClusterProfile::new(table.schema());
+        for &i in members {
+            profile.add(table.row(i));
+        }
+        profile
+    }
+
+    /// Number of member objects (the paper's `n_l`).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// `true` when the cluster has no members.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Domain cardinality of feature `r` (the paper's `m_r`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.n_features()`.
+    pub fn feature_cardinality(&self, r: usize) -> usize {
+        self.counts[r].len()
+    }
+
+    /// Adds one object's row to the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the row arity mismatches the profile.
+    pub fn add(&mut self, row: &[u32]) {
+        debug_assert_eq!(row.len(), self.counts.len());
+        for (r, &code) in row.iter().enumerate() {
+            if code != MISSING {
+                self.counts[r][code as usize] += 1;
+                self.present[r] += 1;
+            }
+        }
+        self.size += 1;
+    }
+
+    /// Removes one object's row from the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the removal would drive any count negative (i.e. the row was
+    /// never added).
+    pub fn remove(&mut self, row: &[u32]) {
+        debug_assert_eq!(row.len(), self.counts.len());
+        assert!(self.size > 0, "cannot remove from an empty cluster");
+        for (r, &code) in row.iter().enumerate() {
+            if code != MISSING {
+                let slot = &mut self.counts[r][code as usize];
+                assert!(*slot > 0, "row was not a member of this cluster");
+                *slot -= 1;
+                self.present[r] -= 1;
+            }
+        }
+        self.size -= 1;
+    }
+
+    /// Count of members holding value `code` in feature `r`
+    /// (`Ψ_{F_r = code}(C_l)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `code` is out of bounds.
+    pub fn count(&self, r: usize, code: u32) -> u32 {
+        self.counts[r][code as usize]
+    }
+
+    /// Number of members with a non-missing value in feature `r`
+    /// (`Ψ_{F_r ≠ NULL}(C_l)`).
+    pub fn present(&self, r: usize) -> u32 {
+        self.present[r]
+    }
+
+    /// Per-feature similarity `s(x_ir, C_l)` of Eq. (2): the relative
+    /// frequency of `code` among the cluster's non-missing values in `r`.
+    /// Missing query values and empty features score 0.
+    pub fn value_similarity(&self, r: usize, code: u32) -> f64 {
+        if code == MISSING || self.present[r] == 0 {
+            return 0.0;
+        }
+        self.counts[r][code as usize] as f64 / self.present[r] as f64
+    }
+
+    /// Object–cluster similarity `s(x_i, C_l)` of Eq. (1): the mean of the
+    /// per-feature similarities.
+    pub fn similarity(&self, row: &[u32]) -> f64 {
+        debug_assert_eq!(row.len(), self.counts.len());
+        let d = row.len() as f64;
+        row.iter().enumerate().map(|(r, &code)| self.value_similarity(r, code)).sum::<f64>() / d
+    }
+
+    /// Feature-weighted object–cluster similarity of Eq. (14):
+    /// `Σ_r ω_rl · s(x_ir, C_l)` with `Σ_r ω_rl = 1`.
+    ///
+    /// Eq. (14) as printed carries an extra `1/d` in front of the already
+    /// normalized weighted sum; we read that as a leftover from Eq. (1)
+    /// (uniform `ω = 1` there) and keep the weighted *mean*, so similarity
+    /// stays in `[0, 1]` and the rival penalty of Eq. (13) remains
+    /// commensurate with the winner award of Eq. (12). With the printed
+    /// `1/d` the penalty would shrink by `d` and cluster elimination would
+    /// stall (see DESIGN.md §2).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `weights.len()` mismatches the arity.
+    pub fn weighted_similarity(&self, row: &[u32], weights: &[f64]) -> f64 {
+        debug_assert_eq!(row.len(), self.counts.len());
+        debug_assert_eq!(weights.len(), self.counts.len());
+        row.iter()
+            .zip(weights)
+            .enumerate()
+            .map(|(r, (&code, &w))| w * self.value_similarity(r, code))
+            .sum::<f64>()
+    }
+
+    /// The cluster mode: the most frequent value per feature (ties resolve to
+    /// the lowest code; features with no present values yield code 0).
+    pub fn mode(&self) -> Vec<u32> {
+        self.counts
+            .iter()
+            .map(|feature_counts| {
+                feature_counts
+                    .iter()
+                    .enumerate()
+                    .max_by(|(ta, ca), (tb, cb)| ca.cmp(cb).then(tb.cmp(ta)))
+                    .map_or(0, |(t, _)| t as u32)
+            })
+            .collect()
+    }
+
+    /// Intra-cluster compactness `β_rl` of Eq. (16) for feature `r`:
+    /// `(1/n_l) Σ_{x∈C_l} Ψ_{F_r=x_r}(C_l) / Ψ_{F_r≠NULL}(C_l)`,
+    /// which reduces to `Σ_t c_t² / (n_l · present_r)`.
+    pub fn compactness(&self, r: usize) -> f64 {
+        if self.size == 0 || self.present[r] == 0 {
+            return 0.0;
+        }
+        let sum_sq: u64 = self.counts[r].iter().map(|&c| c as u64 * c as u64).sum();
+        sum_sq as f64 / (self.size as f64 * self.present[r] as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::uniform(3, 4)
+    }
+
+    #[test]
+    fn add_then_remove_is_identity() {
+        let mut p = ClusterProfile::new(&schema());
+        let before = p.clone();
+        p.add(&[1, 2, 3]);
+        p.add(&[0, 2, 1]);
+        p.remove(&[1, 2, 3]);
+        p.remove(&[0, 2, 1]);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn similarity_of_sole_member_is_one() {
+        let mut p = ClusterProfile::new(&schema());
+        p.add(&[1, 2, 3]);
+        assert_eq!(p.similarity(&[1, 2, 3]), 1.0);
+    }
+
+    #[test]
+    fn similarity_is_mean_of_feature_frequencies() {
+        let mut p = ClusterProfile::new(&schema());
+        p.add(&[0, 0, 0]);
+        p.add(&[0, 1, 0]);
+        p.add(&[0, 1, 1]);
+        // Query [0, 1, 1]: f0 3/3, f1 2/3, f2 1/3 -> mean 2/3.
+        assert!((p.similarity(&[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_values_do_not_count() {
+        let mut p = ClusterProfile::new(&schema());
+        p.add(&[0, MISSING, 1]);
+        p.add(&[0, 2, MISSING]);
+        assert_eq!(p.present(1), 1);
+        assert_eq!(p.present(2), 1);
+        // Querying a missing value scores zero on that feature.
+        assert!((p.similarity(&[0, MISSING, 1]) - (1.0 + 0.0 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_similarity_respects_weights() {
+        let mut p = ClusterProfile::new(&schema());
+        p.add(&[0, 0, 0]);
+        p.add(&[0, 1, 1]);
+        // Feature 0 matches with frequency 1.0; weights isolate it.
+        let s = p.weighted_similarity(&[0, 3, 3], &[1.0, 0.0, 0.0]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_weights_recover_plain_similarity() {
+        let mut p = ClusterProfile::new(&schema());
+        p.add(&[0, 1, 2]);
+        p.add(&[0, 2, 2]);
+        let row = [0, 1, 2];
+        let w = [1.0 / 3.0; 3];
+        // Eq.(14) with ω=1/d reduces to Eq.(1).
+        assert!((p.weighted_similarity(&row, &w) - p.similarity(&row)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_picks_most_frequent_values() {
+        let mut p = ClusterProfile::new(&schema());
+        p.add(&[1, 2, 0]);
+        p.add(&[1, 3, 0]);
+        p.add(&[2, 2, 0]);
+        assert_eq!(p.mode(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn compactness_is_one_for_pure_feature_and_low_for_spread() {
+        let mut p = ClusterProfile::new(&schema());
+        p.add(&[0, 0, 0]);
+        p.add(&[0, 1, 1]);
+        p.add(&[0, 2, 2]);
+        p.add(&[0, 3, 3]);
+        assert!((p.compactness(0) - 1.0).abs() < 1e-12);
+        assert!((p.compactness(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_members_matches_incremental_adds() {
+        let mut table = CategoricalTable::new(schema());
+        table.push_row(&[0, 1, 2]).unwrap();
+        table.push_row(&[1, 1, 3]).unwrap();
+        table.push_row(&[2, 0, 0]).unwrap();
+        let p = ClusterProfile::from_members(&table, &[0, 2]);
+        let mut q = ClusterProfile::new(&schema());
+        q.add(table.row(0));
+        q.add(table.row(2));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn removing_from_empty_panics() {
+        let mut p = ClusterProfile::new(&schema());
+        p.remove(&[0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn removing_non_member_row_panics() {
+        let mut p = ClusterProfile::new(&schema());
+        p.add(&[0, 0, 0]);
+        p.remove(&[1, 0, 0]);
+    }
+}

@@ -1,0 +1,79 @@
+/// Record of one MGCPL granularity stage (one outer epoch that ran
+/// competitive penalization learning to convergence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageRecord {
+    /// 1-based index of the convergence stage (the x-axis of Fig. 5).
+    pub stage: usize,
+    /// Number of live clusters the stage started with.
+    pub k_before: usize,
+    /// Number of live clusters surviving at stage convergence.
+    pub k_after: usize,
+    /// Inner learning passes the stage needed to reach the `Q` fixpoint.
+    pub inner_iterations: usize,
+}
+
+/// The full learning trace of one MGCPL run: the initial `k₀` and one
+/// [`StageRecord`] per convergence stage.
+///
+/// This is exactly the data plotted in the paper's Fig. 5 ("number of
+/// convergences" versus "number of clusters").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LearningTrace {
+    /// The initialized number of clusters `k₀` (x = 0 in Fig. 5).
+    pub initial_k: usize,
+    /// One record per stage, in learning order.
+    pub stages: Vec<StageRecord>,
+}
+
+impl LearningTrace {
+    /// The series of cluster counts `κ = {k₁, …, k_σ}` the paper reports,
+    /// one per stage.
+    pub fn kappa(&self) -> Vec<usize> {
+        self.stages.iter().map(|s| s.k_after).collect()
+    }
+
+    /// The number of granularity levels `σ`.
+    pub fn sigma(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The final (coarsest) number of clusters `k_σ`, or `initial_k` when no
+    /// stage ran.
+    pub fn final_k(&self) -> usize {
+        self.stages.last().map_or(self.initial_k, |s| s.k_after)
+    }
+
+    /// Points `(stage, k)` for plotting Fig. 5, starting at `(0, k₀)`.
+    pub fn plot_points(&self) -> Vec<(usize, usize)> {
+        std::iter::once((0, self.initial_k))
+            .chain(self.stages.iter().map(|s| (s.stage, s.k_after)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kappa_and_final_k() {
+        let trace = LearningTrace {
+            initial_k: 40,
+            stages: vec![
+                StageRecord { stage: 1, k_before: 40, k_after: 12, inner_iterations: 5 },
+                StageRecord { stage: 2, k_before: 12, k_after: 4, inner_iterations: 3 },
+            ],
+        };
+        assert_eq!(trace.kappa(), vec![12, 4]);
+        assert_eq!(trace.sigma(), 2);
+        assert_eq!(trace.final_k(), 4);
+        assert_eq!(trace.plot_points(), vec![(0, 40), (1, 12), (2, 4)]);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let trace = LearningTrace { initial_k: 7, stages: vec![] };
+        assert_eq!(trace.final_k(), 7);
+        assert_eq!(trace.sigma(), 0);
+    }
+}

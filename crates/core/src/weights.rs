@@ -1,0 +1,122 @@
+//! Per-cluster feature weighting (Eqs. 15–18 of the paper).
+//!
+//! A feature is important for a cluster when it simultaneously
+//! *distinguishes* the cluster from the rest of the data (inter-cluster
+//! difference `α_rl`, Eq. 15) and keeps the cluster *compact* (intra-cluster
+//! similarity `β_rl`, Eq. 16). The product `H_rl = α_rl · β_rl` (Eq. 17) is
+//! normalized per cluster into the probabilistic weights `ω_rl` (Eq. 18)
+//! plugged into the weighted similarity of Eq. (14).
+
+use categorical_data::stats::FrequencyTable;
+
+use crate::ClusterProfile;
+
+/// Inter-cluster difference `α_rl` of Eq. (15): the Euclidean distance
+/// between feature `r`'s value distribution inside the cluster and in the
+/// complement `X \ C_l`, scaled by `1/√2` into `[0, 1]`.
+///
+/// `global` must be the frequency table of the *whole* data set the profile
+/// was built from; the complement distribution is obtained by subtraction.
+pub fn inter_cluster_difference(
+    profile: &ClusterProfile,
+    global: &FrequencyTable,
+    r: usize,
+) -> f64 {
+    let in_present = profile.present(r) as f64;
+    let out_present = global.present(r) as f64 - in_present;
+    let cardinality = profile.feature_cardinality(r);
+    let mut sum_sq = 0.0;
+    for t in 0..cardinality {
+        let in_count = profile.count(r, t as u32) as f64;
+        let out_count = global.count(r, t as u32) as f64 - in_count;
+        let p_in = if in_present > 0.0 { in_count / in_present } else { 0.0 };
+        let p_out = if out_present > 0.0 { out_count / out_present } else { 0.0 };
+        let diff = p_in - p_out;
+        sum_sq += diff * diff;
+    }
+    (sum_sq.sqrt() / std::f64::consts::SQRT_2).clamp(0.0, 1.0)
+}
+
+/// The full per-cluster weight vector `ω_l = (ω_1l, …, ω_dl)` of Eq. (18),
+/// built from `H_rl = α_rl · β_rl` and normalized to sum to 1.
+///
+/// Falls back to uniform weights when every `H_rl` is zero (e.g. a cluster
+/// identical to the global distribution).
+pub fn feature_weights(profile: &ClusterProfile, global: &FrequencyTable) -> Vec<f64> {
+    let d = profile.n_features();
+    let mut h = vec![0.0f64; d];
+    for (r, slot) in h.iter_mut().enumerate() {
+        let alpha = inter_cluster_difference(profile, global, r);
+        let beta = profile.compactness(r);
+        *slot = alpha * beta;
+    }
+    let total: f64 = h.iter().sum();
+    if total <= f64::EPSILON {
+        return vec![1.0 / d as f64; d];
+    }
+    h.iter().map(|&v| v / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use categorical_data::{CategoricalTable, Schema};
+
+    /// Builds a table where feature 0 perfectly separates two groups and
+    /// feature 1 is constant everywhere.
+    fn discriminative_table() -> CategoricalTable {
+        let mut t = CategoricalTable::new(Schema::uniform(2, 2));
+        for _ in 0..4 {
+            t.push_row(&[0, 0]).unwrap();
+        }
+        for _ in 0..4 {
+            t.push_row(&[1, 0]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn alpha_is_one_for_perfect_separator_and_zero_for_constant() {
+        let table = discriminative_table();
+        let global = FrequencyTable::from_table(&table);
+        let profile = ClusterProfile::from_members(&table, &[0, 1, 2, 3]);
+        let a0 = inter_cluster_difference(&profile, &global, 0);
+        let a1 = inter_cluster_difference(&profile, &global, 1);
+        assert!((a0 - 1.0).abs() < 1e-12, "a0={a0}");
+        assert!(a1.abs() < 1e-12, "a1={a1}");
+    }
+
+    #[test]
+    fn weights_favor_discriminative_compact_features() {
+        let table = discriminative_table();
+        let global = FrequencyTable::from_table(&table);
+        let profile = ClusterProfile::from_members(&table, &[0, 1, 2, 3]);
+        let w = feature_weights(&profile, &global);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > 0.99, "w={w:?}");
+    }
+
+    #[test]
+    fn uniform_fallback_when_cluster_matches_global() {
+        // A cluster sampling both groups equally: alpha = 0 on both features.
+        let table = discriminative_table();
+        let global = FrequencyTable::from_table(&table);
+        let profile = ClusterProfile::from_members(&table, &[0, 1, 4, 5]);
+        let w = feature_weights(&profile, &global);
+        assert_eq!(w, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn weights_sum_to_one_on_mixed_data() {
+        let mut table = CategoricalTable::new(Schema::uniform(3, 3));
+        let rows = [[0, 1, 2], [0, 1, 1], [1, 2, 0], [2, 0, 0], [0, 2, 2], [1, 1, 1]];
+        for row in &rows {
+            table.push_row(row).unwrap();
+        }
+        let global = FrequencyTable::from_table(&table);
+        let profile = ClusterProfile::from_members(&table, &[0, 1, 4]);
+        let w = feature_weights(&profile, &global);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+}

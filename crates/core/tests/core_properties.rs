@@ -1,0 +1,75 @@
+//! Property-based tests of MGCPL/CAME invariants on arbitrary categorical
+//! data (not just generator output).
+
+use categorical_data::{CategoricalTable, Schema};
+use mcdc_core::{encode_mgcpl, Came, Mcdc, Mgcpl};
+use proptest::prelude::*;
+
+fn arbitrary_table() -> impl Strategy<Value = CategoricalTable> {
+    (10usize..80, 2usize..6).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(proptest::collection::vec(0u32..4, d), n).prop_map(
+            move |rows| {
+                CategoricalTable::from_rows(Schema::uniform(d, 4), rows.iter().map(Vec::as_slice))
+                    .expect("rows are schema-valid")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mgcpl_invariants_on_arbitrary_data(table in arbitrary_table(), seed in 0u64..100) {
+        let result = Mgcpl::builder().seed(seed).build().fit(&table).unwrap();
+        prop_assert!(!result.partitions.is_empty());
+        prop_assert!(result.kappa.windows(2).all(|w| w[0] > w[1]));
+        prop_assert!(*result.kappa.first().unwrap() <= result.trace.initial_k);
+        for (partition, &k) in result.partitions.iter().zip(&result.kappa) {
+            prop_assert_eq!(partition.len(), table.n_rows());
+            prop_assert!(partition.iter().all(|&l| l < k));
+        }
+        // The encoding round-trips into a table of matching shape.
+        let encoding = encode_mgcpl(&result).unwrap();
+        prop_assert_eq!(encoding.n_rows(), table.n_rows());
+    }
+
+    #[test]
+    fn came_theta_is_a_distribution(table in arbitrary_table(), seed in 0u64..100) {
+        let k = 2.min(table.n_rows());
+        let mgcpl = Mgcpl::builder().seed(seed).build().fit(&table).unwrap();
+        let encoding = encode_mgcpl(&mgcpl).unwrap();
+        let came = Came::builder().seed(seed).build().fit(&encoding, k).unwrap();
+        prop_assert!((came.theta().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(came.theta().iter().all(|&t| (0.0..=1.0).contains(&t)));
+        prop_assert_eq!(came.labels().len(), table.n_rows());
+        prop_assert!(came.labels().iter().all(|&l| l < k));
+    }
+
+    #[test]
+    fn mcdc_delivers_exactly_k_or_fewer_on_duplicates(
+        distinct in 2usize..6,
+        copies in 3usize..15,
+        seed in 0u64..50,
+    ) {
+        // Tables made of `distinct` unique rows, each repeated `copies`
+        // times: the sought k <= distinct must always be deliverable.
+        let d = 4usize;
+        let mut table = CategoricalTable::new(Schema::uniform(d, 8));
+        for v in 0..distinct {
+            for _ in 0..copies {
+                table.push_row(&vec![v as u32; d]).unwrap();
+            }
+        }
+        let k = 2.min(distinct);
+        let result = Mcdc::builder().seed(seed).build().fit(&table, k).unwrap();
+        prop_assert_eq!(result.labels().len(), distinct * copies);
+        // Identical rows must co-cluster.
+        for v in 0..distinct {
+            let base = result.labels()[v * copies];
+            for i in 0..copies {
+                prop_assert_eq!(result.labels()[v * copies + i], base);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Compute-node pre-grouping (paper §III-D, contribution 2): cluster nodes
+//! described by categorical features — the paper's Fig. 1 table of GPU
+//! type / GPU usage / memory usage — into performance-consistent groups and
+//! select uniform node sets per task requirement.
+
+use categorical_data::{CategoricalTable, MISSING};
+use mcdc_core::{Mcdc, McdcError};
+
+/// One performance-consistent group of compute nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeGroup {
+    /// Dense group identifier.
+    pub id: usize,
+    /// Indices of member nodes in the catalog table.
+    pub members: Vec<usize>,
+    /// Per-feature modal value codes of the group (its "performance
+    /// profile").
+    pub profile: Vec<u32>,
+}
+
+impl NodeGroup {
+    /// Fraction of members matching the group profile, averaged over
+    /// features — 1.0 means the group is perfectly uniform.
+    pub fn consistency(&self, catalog: &CategoricalTable) -> f64 {
+        if self.members.is_empty() {
+            return 1.0;
+        }
+        let d = catalog.n_features();
+        let mut matches = 0usize;
+        for &i in &self.members {
+            matches += catalog
+                .row(i)
+                .iter()
+                .zip(&self.profile)
+                .filter(|(&v, &p)| v == p && v != MISSING)
+                .count();
+        }
+        matches as f64 / (self.members.len() * d) as f64
+    }
+}
+
+/// Groups compute nodes with MCDC and answers task-requirement queries.
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::{CategoricalTable, Schema};
+/// use mcdc_dist_sim::NodeGrouper;
+///
+/// // The paper's Fig. 1 catalog: GPU type, GPU usage, memory usage.
+/// let schema = Schema::builder()
+///     .feature("gpu_type", ["A", "B", "C"])
+///     .feature("gpu_usage", ["High", "Low"])
+///     .feature("mem_usage", ["High", "Low"])
+///     .build();
+/// let mut catalog = CategoricalTable::new(schema);
+/// for _ in 0..10 {
+///     catalog.push_row(&[0, 0, 1])?; // type A, busy GPU, free memory
+///     catalog.push_row(&[1, 1, 0])?; // type B, free GPU, busy memory
+/// }
+/// let grouper = NodeGrouper::new(1).group(&catalog, 2)?;
+/// // Find nodes with a free GPU (feature 1 = "Low" = code 1).
+/// let group = grouper.best_group_for(&[(1, 1)]).unwrap();
+/// assert_eq!(group.profile[1], 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeGrouper {
+    seed: u64,
+}
+
+/// The result of grouping a node catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeGroups {
+    groups: Vec<NodeGroup>,
+    labels: Vec<usize>,
+}
+
+impl NodeGrouper {
+    /// Creates a grouper with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        NodeGrouper { seed }
+    }
+
+    /// Clusters the node `catalog` into `k` groups with MCDC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`McdcError`] for an empty catalog or invalid `k`.
+    pub fn group(&self, catalog: &CategoricalTable, k: usize) -> Result<NodeGroups, McdcError> {
+        let result = Mcdc::builder().seed(self.seed).build().fit(catalog, k)?;
+        let labels = result.labels().to_vec();
+        let k_found = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut groups: Vec<NodeGroup> = (0..k_found)
+            .map(|id| NodeGroup { id, members: Vec::new(), profile: Vec::new() })
+            .collect();
+        for (i, &l) in labels.iter().enumerate() {
+            groups[l].members.push(i);
+        }
+        for group in groups.iter_mut() {
+            group.profile = modal_profile(catalog, &group.members);
+        }
+        Ok(NodeGroups { groups, labels })
+    }
+}
+
+impl NodeGroups {
+    /// All groups, ordered by id.
+    pub fn groups(&self) -> &[NodeGroup] {
+        &self.groups
+    }
+
+    /// Group label per catalog node.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The group best matching a task requirement, expressed as
+    /// `(feature, value)` constraints; ties break toward the larger group.
+    /// Returns `None` when the catalog produced no groups.
+    pub fn best_group_for(&self, requirements: &[(usize, u32)]) -> Option<&NodeGroup> {
+        self.groups.iter().max_by(|a, b| {
+            let score = |g: &NodeGroup| {
+                requirements
+                    .iter()
+                    .filter(|&&(r, v)| g.profile.get(r) == Some(&v))
+                    .count()
+            };
+            score(a).cmp(&score(b)).then(a.members.len().cmp(&b.members.len()))
+        })
+    }
+}
+
+fn modal_profile(catalog: &CategoricalTable, members: &[usize]) -> Vec<u32> {
+    let d = catalog.n_features();
+    (0..d)
+        .map(|r| {
+            let mut counts =
+                vec![0usize; catalog.schema().domain(r).cardinality() as usize];
+            for &i in members {
+                let v = catalog.value(i, r);
+                if v != MISSING {
+                    counts[v as usize] += 1;
+                }
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by(|(ta, ca), (tb, cb)| ca.cmp(cb).then(tb.cmp(ta)))
+                .map_or(0, |(t, _)| t as u32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use categorical_data::Schema;
+
+    fn catalog() -> CategoricalTable {
+        let schema = Schema::builder()
+            .feature("gpu_type", ["A", "B", "C"])
+            .feature("gpu_usage", ["High", "Low"])
+            .feature("mem_usage", ["High", "Low"])
+            .build();
+        let mut table = CategoricalTable::new(schema);
+        for _ in 0..12 {
+            table.push_row(&[0, 0, 1]).unwrap();
+            table.push_row(&[1, 1, 0]).unwrap();
+            table.push_row(&[2, 1, 1]).unwrap();
+        }
+        table
+    }
+
+    #[test]
+    fn groups_are_performance_consistent() {
+        let groups = NodeGrouper::new(1).group(&catalog(), 3).unwrap();
+        assert_eq!(groups.groups().len(), 3);
+        for g in groups.groups() {
+            assert!(g.consistency(&catalog()) > 0.95, "group {} inconsistent", g.id);
+        }
+    }
+
+    #[test]
+    fn requirement_queries_find_matching_profiles() {
+        let groups = NodeGrouper::new(1).group(&catalog(), 3).unwrap();
+        // Want: free GPU (feature 1 = code 1) and free memory (feature 2 = 1).
+        let g = groups.best_group_for(&[(1, 1), (2, 1)]).unwrap();
+        assert_eq!(g.profile[1], 1);
+        assert_eq!(g.profile[2], 1);
+        assert_eq!(g.profile[0], 2); // the type-C nodes
+    }
+
+    #[test]
+    fn labels_cover_catalog() {
+        let groups = NodeGrouper::new(2).group(&catalog(), 2).unwrap();
+        assert_eq!(groups.labels().len(), 36);
+    }
+
+    #[test]
+    fn empty_catalog_is_an_error() {
+        let table = CategoricalTable::new(Schema::uniform(2, 2));
+        assert!(NodeGrouper::new(0).group(&table, 2).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! A Table-III-style head-to-head on one data set: all nine methods, four
+//! validity indices. Pass a data-set abbreviation (Car., Con., Che., Mus.,
+//! Tic., Vot., Bal., Nur.) as the first argument; defaults to `Vot.`.
+//!
+//! Run with: `cargo run --example uci_benchmark --release -- Con.`
+
+use mcdc::baselines::{
+    Adc, CategoricalClusterer, Fkmawcw, Gudmm, KModes, Linkage, LinkageMethod, Rock, Wocil,
+};
+use mcdc::core::Mcdc;
+use mcdc::data::synth::uci;
+use mcdc::eval::{accuracy, adjusted_mutual_information, adjusted_rand_index, fowlkes_mallows};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let abbrev = std::env::args().nth(1).unwrap_or_else(|| "Vot.".to_owned());
+    let profile = uci::by_abbrev(&abbrev)
+        .unwrap_or_else(|| panic!("unknown data set {abbrev:?}; try Car. Con. Che. Mus. Tic. Vot. Bal. Nur."));
+    let data = profile.generate_dataset(7);
+    let k = data.k_true();
+    println!(
+        "{}: n={}, d={}, k*={}\n",
+        data.name(),
+        data.n_rows(),
+        data.n_features(),
+        k
+    );
+    println!("{:<14} {:>7} {:>7} {:>7} {:>7}", "method", "ACC", "ARI", "AMI", "FM");
+
+    let clusterers: Vec<Box<dyn CategoricalClusterer>> = vec![
+        Box::new(KModes::new(1)),
+        Box::new(Rock::new(0.5)),
+        Box::new(Wocil::new()),
+        Box::new(Fkmawcw::new(1)),
+        Box::new(Gudmm::new(1)),
+        Box::new(Adc::new(1)),
+        Box::new(Linkage::new(LinkageMethod::Average)),
+    ];
+    for clusterer in &clusterers {
+        match clusterer.cluster(data.table(), k) {
+            Ok(result) => print_row(clusterer.name(), data.labels(), &result.labels),
+            Err(e) => println!("{:<14} failed: {e}", clusterer.name()),
+        }
+    }
+
+    // MCDC and its enhancement variants.
+    let mcdc = Mcdc::builder().seed(1).build().fit(data.table(), k)?;
+    print_row("MCDC", data.labels(), mcdc.labels());
+    if let Ok(enhanced) = Gudmm::new(1).cluster(mcdc.encoding(), k) {
+        print_row("MCDC+G.", data.labels(), &enhanced.labels);
+    }
+    if let Ok(enhanced) = Fkmawcw::new(1).cluster(mcdc.encoding(), k) {
+        print_row("MCDC+F.", data.labels(), &enhanced.labels);
+    }
+    Ok(())
+}
+
+fn print_row(name: &str, truth: &[usize], predicted: &[usize]) {
+    println!(
+        "{:<14} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+        name,
+        accuracy(truth, predicted),
+        adjusted_rand_index(truth, predicted),
+        adjusted_mutual_information(truth, predicted),
+        fowlkes_mallows(truth, predicted)
+    );
+}

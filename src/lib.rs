@@ -1,0 +1,32 @@
+//! MCDC — Multi-granular Competitive-learning Categorical Data Clustering.
+//!
+//! Facade crate re-exporting the whole workspace: the data substrate, the
+//! MCDC pipeline (MGCPL + CAME), the baseline clusterers, the validity
+//! indices, and the distributed-computing simulation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mcdc::core::Mcdc;
+//! use mcdc::data::synth::GeneratorConfig;
+//! use mcdc::eval::{accuracy, adjusted_rand_index};
+//!
+//! let data = GeneratorConfig::new("demo", 200, vec![4; 8], 3)
+//!     .noise(0.05)
+//!     .generate(7)
+//!     .dataset;
+//! let result = Mcdc::builder().seed(1).build().fit(data.table(), 3)?;
+//! let acc = accuracy(data.labels(), result.labels());
+//! assert!(acc > 0.9, "well-separated clusters should be recovered, acc={acc}");
+//! let _ari = adjusted_rand_index(data.labels(), result.labels());
+//! # Ok::<(), mcdc::core::McdcError>(())
+//! ```
+
+pub use categorical_data as data;
+pub use cluster_eval as eval;
+pub use mcdc_baselines as baselines;
+pub use mcdc_core as core;
+pub use mcdc_dist_sim as dist;
+
+pub use categorical_data::{CategoricalTable, Dataset, FeatureDomain, Schema};
+pub use mcdc_core::{Came, LabelingPlan, Mcdc, McdcError, Mgcpl, StreamingMcdc};

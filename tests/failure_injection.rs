@@ -1,0 +1,135 @@
+//! Failure injection: every clusterer must behave sanely (succeed or fail
+//! cleanly, never panic) on degenerate inputs.
+
+use mcdc::baselines::{
+    Adc, BaselineError, CategoricalClusterer, Fkmawcw, Gudmm, KModes, Linkage, LinkageMethod,
+    Rock, Wocil,
+};
+use mcdc::core::{Came, CompetitiveLearning, Mcdc, McdcError, Mgcpl};
+use mcdc::data::{CategoricalTable, Schema, MISSING};
+
+fn clusterers() -> Vec<Box<dyn CategoricalClusterer>> {
+    vec![
+        Box::new(KModes::new(1)),
+        Box::new(Rock::new(0.5)),
+        Box::new(Wocil::new()),
+        Box::new(Fkmawcw::new(1)),
+        Box::new(Gudmm::new(1)),
+        Box::new(Adc::new(1)),
+        Box::new(Linkage::new(LinkageMethod::Average)),
+    ]
+}
+
+fn identical_rows(n: usize) -> CategoricalTable {
+    let mut t = CategoricalTable::new(Schema::uniform(3, 2));
+    for _ in 0..n {
+        t.push_row(&[1, 0, 1]).unwrap();
+    }
+    t
+}
+
+#[test]
+fn all_methods_survive_identical_rows() {
+    let table = identical_rows(30);
+    for c in clusterers() {
+        match c.cluster(&table, 2) {
+            Ok(result) => assert_eq!(result.labels.len(), 30, "{}", c.name()),
+            Err(
+                BaselineError::FailedToFormK { .. }
+                | BaselineError::InvalidK { .. }
+                | BaselineError::EmptyInput,
+            ) => {}
+            Err(other) => panic!("{}: unexpected error {other}", c.name()),
+        }
+    }
+}
+
+#[test]
+fn all_methods_reject_empty_input() {
+    let table = CategoricalTable::new(Schema::uniform(2, 2));
+    for c in clusterers() {
+        assert!(matches!(c.cluster(&table, 2), Err(BaselineError::EmptyInput)), "{}", c.name());
+    }
+    assert!(matches!(
+        Mcdc::builder().build().fit(&table, 2),
+        Err(McdcError::EmptyInput)
+    ));
+    assert!(matches!(
+        Mgcpl::builder().build().fit(&table),
+        Err(McdcError::EmptyInput)
+    ));
+    assert!(matches!(
+        CompetitiveLearning::new(0.03, 0).fit(&table, 2),
+        Err(McdcError::EmptyInput)
+    ));
+}
+
+#[test]
+fn all_methods_reject_oversized_k() {
+    let table = identical_rows(5);
+    for c in clusterers() {
+        assert!(
+            matches!(c.cluster(&table, 6), Err(BaselineError::InvalidK { k: 6, .. })),
+            "{}",
+            c.name()
+        );
+    }
+}
+
+#[test]
+fn single_feature_data_is_clusterable() {
+    let mut table = CategoricalTable::new(Schema::uniform(1, 3));
+    for i in 0..60 {
+        table.push_row(&[(i % 3) as u32]).unwrap();
+    }
+    for c in clusterers() {
+        match c.cluster(&table, 3) {
+            Ok(result) => {
+                assert_eq!(result.k_found, 3, "{}", c.name());
+            }
+            Err(BaselineError::FailedToFormK { .. }) => {}
+            Err(other) => panic!("{}: unexpected error {other}", c.name()),
+        }
+    }
+    let result = Mcdc::builder().seed(1).build().fit(&table, 3).unwrap();
+    assert_eq!(result.labels().len(), 60);
+}
+
+#[test]
+fn missing_values_do_not_break_the_pipeline() {
+    let mut table = CategoricalTable::new(Schema::uniform(4, 3));
+    for i in 0..80u32 {
+        let base = i % 3;
+        let mut row = [base, base, base, base];
+        if i % 7 == 0 {
+            row[(i % 4) as usize] = MISSING;
+        }
+        table.push_row(&row).unwrap();
+    }
+    let result = Mcdc::builder().seed(1).build().fit(&table, 3).unwrap();
+    assert_eq!(result.labels().len(), 80);
+    let km = KModes::new(1).cluster(&table, 3).unwrap();
+    assert_eq!(km.labels.len(), 80);
+}
+
+#[test]
+fn came_rejects_invalid_k_cleanly() {
+    let encoding = mcdc::core::encode_partitions(&[vec![0, 1, 0, 1]]).unwrap();
+    assert!(matches!(
+        Came::builder().build().fit(&encoding, 0),
+        Err(McdcError::InvalidK { k: 0, .. })
+    ));
+    assert!(matches!(
+        Came::builder().build().fit(&encoding, 5),
+        Err(McdcError::InvalidK { k: 5, .. })
+    ));
+}
+
+#[test]
+fn two_row_corner_case() {
+    let mut table = CategoricalTable::new(Schema::uniform(2, 2));
+    table.push_row(&[0, 0]).unwrap();
+    table.push_row(&[1, 1]).unwrap();
+    let result = Mcdc::builder().seed(1).build().fit(&table, 2).unwrap();
+    assert_ne!(result.labels()[0], result.labels()[1]);
+}

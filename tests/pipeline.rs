@@ -1,0 +1,125 @@
+//! End-to-end integration tests across the workspace crates.
+
+use mcdc::baselines::{CategoricalClusterer, Fkmawcw, Gudmm, KModes};
+use mcdc::core::{encode_mgcpl, run_ablation, AblationVariant, Mcdc, Mgcpl};
+use mcdc::data::synth::{uci, GeneratorConfig};
+use mcdc::eval::{accuracy, adjusted_mutual_information, adjusted_rand_index};
+
+/// Nested data in the regime MCDC targets: noisy, disjunctive class
+/// identity, skewed sub-clusters. (On noiseless perfectly-separable data a
+/// plain similarity clusterer with `k` given is already optimal, and the
+/// paper makes no claim there.)
+fn nested(n: usize, k: usize, sub: usize, seed: u64) -> mcdc::Dataset {
+    GeneratorConfig::new("it", n, vec![4; 10], k)
+        .subclusters(sub)
+        .shared_fraction(0.7)
+        .subcluster_fidelity(0.85)
+        .noise(0.3)
+        .generate(seed)
+        .dataset
+}
+
+#[test]
+fn mcdc_recovers_planted_coarse_clusters() {
+    // Averaged over seeds: individual runs vary, the mean must be strong.
+    let data = nested(600, 3, 2, 1);
+    let mean: f64 = (0..3)
+        .map(|s| {
+            let result = Mcdc::builder().seed(s).build().fit(data.table(), 3).unwrap();
+            accuracy(data.labels(), result.labels())
+        })
+        .sum::<f64>()
+        / 3.0;
+    assert!(mean > 0.6, "mean acc={mean}");
+}
+
+#[test]
+fn mgcpl_final_granularity_tracks_k_star_on_mergeable_data() {
+    let data = nested(500, 3, 2, 2);
+    let result = Mgcpl::builder().seed(1).build().fit(data.table()).unwrap();
+    let k_final = result.trace.final_k();
+    assert!((2..=5).contains(&k_final), "k_final={k_final}, kappa={:?}", result.kappa);
+}
+
+#[test]
+fn encoding_enhances_or_matches_raw_baselines_on_nested_data() {
+    let data = nested(500, 3, 3, 3);
+    let k = 3;
+    let mcdc = Mcdc::builder().seed(2).build().fit(data.table(), k).unwrap();
+    let on_encoding = Gudmm::new(1).cluster(mcdc.encoding(), k);
+    // The encoding is a legal categorical table for any baseline.
+    let labels = on_encoding.expect("Gamma encoding must be clusterable").labels;
+    assert_eq!(labels.len(), 500);
+    let ami = adjusted_mutual_information(data.labels(), &labels);
+    assert!(ami > 0.15, "ami={ami}");
+}
+
+#[test]
+fn full_pipeline_is_deterministic_per_seed() {
+    let data = nested(300, 2, 2, 4);
+    let a = Mcdc::builder().seed(9).build().fit(data.table(), 2).unwrap();
+    let b = Mcdc::builder().seed(9).build().fit(data.table(), 2).unwrap();
+    assert_eq!(a.labels(), b.labels());
+    assert_eq!(a.mgcpl().kappa, b.mgcpl().kappa);
+}
+
+#[test]
+fn ablation_ladder_orders_sensibly_on_uci_stand_in() {
+    // Fig. 4's claim is about realistic categorical data (noisy, disjunctive
+    // class identity, common/irrelevant features), where the multi-granular
+    // machinery pays for itself: the full pipeline must beat the
+    // similarity-only bottom rung on the Congressional stand-in. (On cleanly
+    // separable mixture data handed the true k, one-shot partitioning is
+    // already optimal and the paper makes no claim there.)
+    let data = uci::CONGRESSIONAL.generate_dataset(7);
+    let k = data.k_true();
+    let mean_ari = |variant| {
+        let total: f64 = (0..3)
+            .map(|s| {
+                run_ablation(variant, data.table(), k, s)
+                    .map(|l| adjusted_rand_index(data.labels(), &l))
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        total / 3.0
+    };
+    let full = mean_ari(AblationVariant::Full);
+    let bare = mean_ari(AblationVariant::Mcdc1);
+    assert!(full > bare, "full={full} bare={bare}");
+}
+
+#[test]
+fn every_table3_method_handles_a_uci_stand_in() {
+    let data = uci::VOTE.generate_dataset(3);
+    let k = data.k_true();
+    let clusterers: Vec<Box<dyn CategoricalClusterer>> =
+        vec![Box::new(KModes::new(1)), Box::new(Gudmm::new(1)), Box::new(Fkmawcw::new(1))];
+    for c in &clusterers {
+        let result = c.cluster(data.table(), k).unwrap_or_else(|e| panic!("{}: {e}", c.name()));
+        assert_eq!(result.labels.len(), data.n_rows(), "{}", c.name());
+        assert!(accuracy(data.labels(), &result.labels) > 0.5, "{}", c.name());
+    }
+}
+
+#[test]
+fn encode_mgcpl_drops_degenerate_granularities() {
+    // Force a collapse to k=1 by making all rows identical; the encoding
+    // must still be usable (one feature, cardinality 1).
+    let mut table = mcdc::CategoricalTable::new(mcdc::Schema::uniform(4, 3));
+    for _ in 0..50 {
+        table.push_row(&[1, 2, 0, 1]).unwrap();
+    }
+    let result = Mgcpl::builder().seed(1).build().fit(&table).unwrap();
+    let encoding = encode_mgcpl(&result).unwrap();
+    assert_eq!(encoding.n_rows(), 50);
+    assert!(encoding.n_features() >= 1);
+}
+
+#[test]
+fn mcdc_handles_k_equals_n_and_k_equals_one() {
+    let data = nested(40, 2, 1, 6);
+    let one = Mcdc::builder().seed(1).build().fit(data.table(), 1).unwrap();
+    assert!(one.labels().iter().all(|&l| l == 0));
+    let n = Mcdc::builder().seed(1).build().fit(data.table(), 40).unwrap();
+    assert_eq!(n.labels().len(), 40);
+}
