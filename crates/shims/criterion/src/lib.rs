@@ -1,0 +1,254 @@
+//! Offline stand-in for the `criterion` benchmarking API used by this
+//! workspace's `benches/` (which are built with `harness = false`).
+//!
+//! Differences from real criterion:
+//!
+//! * results are printed to stdout as `group/bench  median ...` lines
+//!   instead of HTML reports under `target/criterion`;
+//! * each benchmark runs `sample_size` samples, with per-sample iteration
+//!   counts auto-calibrated so a sample lasts at least ~20 ms (fast kernels
+//!   are batched, slow fits run once per sample);
+//! * an optional positional CLI argument filters benchmarks by substring
+//!   (`cargo bench --bench components -- similarity`), and harness flags
+//!   such as `--bench` are ignored.
+
+use std::time::{Duration, Instant};
+
+/// Minimum duration one measured sample should take; faster closures are
+/// batched until they do.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes harness flags (e.g. `--bench`); the first non-flag
+        // argument, if any, is a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { default_sample_size: 10, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark (outside any group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let filter = self.filter.clone();
+        run_benchmark(id, self.default_sample_size, None, &filter, f);
+    }
+}
+
+/// Throughput annotation: turns per-iteration time into a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (e.g. rows) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function_name.into()))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    #[allow(dead_code)]
+    parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let full = format!("{}/{id}", self.name);
+        let filter = self.parent.filter.clone();
+        run_benchmark(&full, self.sample_size, self.throughput, &filter, f);
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.0);
+        let filter = self.parent.filter.clone();
+        run_benchmark(&full, self.sample_size, self.throughput, &filter, |b| f(b, input));
+    }
+
+    /// Ends the group (reporting happens eagerly per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the payload.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration nanoseconds, filled by `iter`.
+    median_nanos: f64,
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates a batch size, takes `sample_size` samples,
+    /// and records median/mean per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + calibration: time single calls until TARGET_SAMPLE is
+        // spent, deriving the per-sample batch size.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < TARGET_SAMPLE && calib_iters < 1_000_000 {
+            std::hint::black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters.max(1) as f64;
+        let batch = ((TARGET_SAMPLE.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = samples.len() / 2;
+        self.median_nanos = if samples.len() % 2 == 1 {
+            samples[mid]
+        } else {
+            (samples[mid - 1] + samples[mid]) / 2.0
+        };
+        self.mean_nanos = samples.iter().sum::<f64>() / samples.len() as f64;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: &Option<String>,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !id.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher { sample_size, median_nanos: 0.0, mean_nanos: 0.0 };
+    f(&mut bencher);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 * 1e9 / bencher.median_nanos),
+        Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 * 1e9 / bencher.median_nanos),
+    });
+    println!(
+        "{id:<48} median {:>12}  mean {:>12}{}",
+        format_nanos(bencher.median_nanos),
+        format_nanos(bencher.mean_nanos),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.3} us", nanos / 1e3)
+    } else {
+        format!("{nanos:.1} ns")
+    }
+}
+
+/// Re-export so call sites can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function running the listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { sample_size: 3, median_nanos: 0.0, mean_nanos: 0.0 };
+        b.iter(|| std::hint::black_box(3u64.pow(7)));
+        assert!(b.median_nanos > 0.0);
+        assert!(b.mean_nanos > 0.0);
+    }
+
+    #[test]
+    fn format_nanos_scales_units() {
+        assert!(format_nanos(12.0).ends_with("ns"));
+        assert!(format_nanos(12_000.0).ends_with("us"));
+        assert!(format_nanos(12_000_000.0).ends_with("ms"));
+        assert!(format_nanos(2e9).ends_with(" s"));
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(3).0, "3");
+    }
+}

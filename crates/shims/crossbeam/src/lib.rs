@@ -1,0 +1,72 @@
+//! Offline stand-in for the `crossbeam::thread` scoped-thread API, backed by
+//! `std::thread::scope` (stabilized since Rust 1.63, which makes the real
+//! crate's raison d'être moot for this workspace).
+
+pub mod thread {
+    //! Scoped threads.
+
+    /// Handle passed to [`scope`] closures; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam convention), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// returning. Always `Ok` — a panicking child propagates the panic
+    /// (crossbeam would return `Err`; all call sites `.expect()` anyway).
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let total = AtomicU64::new(0);
+        thread::scope(|scope| {
+            for i in 0..8u64 {
+                let total = &total;
+                scope.spawn(move |_| {
+                    total.fetch_add(i, Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.load(Ordering::SeqCst), 28);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let flag = AtomicU64::new(0);
+        thread::scope(|scope| {
+            let flag = &flag;
+            scope.spawn(move |s| {
+                s.spawn(move |_| {
+                    flag.store(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+    }
+}

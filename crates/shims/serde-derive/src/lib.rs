@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros (offline serde shim).
+//!
+//! Nothing in this workspace serializes at runtime; the derives only need to
+//! make `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` helper
+//! attributes compile. They therefore emit no code at all.
+
+use proc_macro::TokenStream;
+
+/// Accepts the input item (and any `#[serde(...)]` attributes) and emits
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the input item (and any `#[serde(...)]` attributes) and emits
+/// nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,7 @@
+//! Offline `serde` facade: re-exports the no-op derive macros.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` (plus
+//! `#[serde(skip)]` field attributes); no code path serializes at runtime,
+//! so the derives expand to nothing. See `crates/shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
