@@ -1,0 +1,136 @@
+//! Machine-readable perf baseline for the clustering hot path: times the
+//! MGCPL exploration, Γ encoding, and CAME aggregation stages on the
+//! `scaling::syn_n` family ({3k, 10k, 30k} rows by default) and writes
+//! `BENCH_hotpath.json` (stage, n, median wall ms, throughput rows/s) so
+//! future PRs can diff performance without re-deriving a harness.
+//!
+//! Usage: `cargo run --release -p mcdc-bench --bin hotpath_snapshot
+//!        [--out PATH] [--seed N] [--sizes a,b,c]`
+
+use std::time::Instant;
+
+use categorical_data::synth::scaling;
+use mcdc_core::{encode_mgcpl, Came, Mgcpl};
+
+struct Entry {
+    stage: &'static str,
+    n: usize,
+    median_ms: f64,
+    rows_per_s: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut entries: Vec<Entry> = Vec::new();
+
+    println!("{:<16} {:>8} {:>6} {:>12} {:>14}", "stage", "n", "reps", "median ms", "rows/s");
+    for &n in &args.sizes {
+        // Fewer repetitions at larger n keeps the snapshot under a minute.
+        let reps = if n <= 3_000 {
+            7
+        } else if n <= 10_000 {
+            5
+        } else {
+            3
+        };
+        let data = scaling::syn_n(n, args.seed);
+        let mgcpl = Mgcpl::builder().seed(1).build();
+
+        let explored = mgcpl.fit(data.table()).expect("synthetic data fits");
+        let encoding = encode_mgcpl(&explored).expect("Gamma is encodable");
+
+        let stages: Vec<(&'static str, Box<dyn Fn()>)> = vec![
+            (
+                "mgcpl_explore",
+                Box::new(|| {
+                    std::hint::black_box(mgcpl.fit(data.table()).expect("fit succeeds"));
+                }),
+            ),
+            (
+                "encode_gamma",
+                Box::new(|| {
+                    std::hint::black_box(encode_mgcpl(&explored).expect("encodable"));
+                }),
+            ),
+            (
+                "came_aggregate",
+                Box::new(|| {
+                    std::hint::black_box(
+                        Came::builder().build().fit(&encoding, 3).expect("fit succeeds"),
+                    );
+                }),
+            ),
+        ];
+
+        for (stage, run) in stages {
+            let mut samples: Vec<f64> = (0..reps)
+                .map(|_| {
+                    let start = Instant::now();
+                    run();
+                    start.elapsed().as_secs_f64() * 1e3
+                })
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median_ms = samples[samples.len() / 2];
+            let rows_per_s = n as f64 / (median_ms / 1e3);
+            println!("{stage:<16} {n:>8} {reps:>6} {median_ms:>12.3} {rows_per_s:>14.0}");
+            entries.push(Entry { stage, n, median_ms, rows_per_s });
+        }
+    }
+
+    let json = render_json(&entries, args.seed);
+    std::fs::write(&args.out, json).expect("write BENCH_hotpath.json");
+    println!("\nwrote {}", args.out);
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json; every value here is a
+/// plain number or ASCII string, so escaping is a non-issue).
+fn render_json(entries: &[Entry], seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"hotpath_snapshot\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"n\": {}, \"median_ms\": {:.3}, \"rows_per_s\": {:.0}}}{}\n",
+            e.stage,
+            e.n,
+            e.median_ms,
+            e.rows_per_s,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+struct Args {
+    out: String,
+    seed: u64,
+    sizes: Vec<usize>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args =
+            Args { out: "BENCH_hotpath.json".to_owned(), seed: 7, sizes: vec![3_000, 10_000, 30_000] };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--out" => args.out = it.next().expect("--out PATH"),
+                "--seed" => args.seed = it.next().expect("--seed N").parse().expect("numeric"),
+                "--sizes" => {
+                    args.sizes = it
+                        .next()
+                        .expect("--sizes a,b,c")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("numeric size"))
+                        .collect();
+                }
+                other => panic!("unknown flag {other}; use --out, --seed, --sizes"),
+            }
+        }
+        args
+    }
+}

@@ -45,7 +45,7 @@ pub mod synth;
 pub use dataset::Dataset;
 pub use domain::FeatureDomain;
 pub use error::DataError;
-pub use schema::{Schema, SchemaBuilder};
+pub use schema::{CsrLayout, Schema, SchemaBuilder};
 pub use table::{CategoricalTable, RowsIter};
 
 /// Value code marking a missing entry.

@@ -86,6 +86,120 @@ impl Schema {
             domain.rebuild_index();
         }
     }
+
+    /// Builds the flat CSR addressing of this schema's value space: feature
+    /// `r`'s values occupy the contiguous index range
+    /// `offsets[r]..offsets[r] + m_r` of one shared buffer.
+    ///
+    /// This is the layout behind the flat count structures
+    /// ([`stats::FrequencyTable`](crate::stats::FrequencyTable) and
+    /// `mcdc-core`'s `ClusterProfile`): one cache-friendly buffer instead of
+    /// a `Vec<Vec<_>>` per feature (see `DESIGN.md` §"Hot path").
+    pub fn csr_layout(&self) -> CsrLayout {
+        CsrLayout::of(self)
+    }
+}
+
+/// Flat CSR addressing of a schema's value space.
+///
+/// `offsets` has `d + 1` entries; value `t` of feature `r` lives at index
+/// `offsets[r] + t` of any buffer sized [`CsrLayout::total_values`]. The
+/// layout is immutable once built — rebuild it if domains are re-interned.
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::Schema;
+///
+/// let layout = Schema::uniform(3, 4).csr_layout();
+/// assert_eq!(layout.n_features(), 3);
+/// assert_eq!(layout.total_values(), 12);
+/// assert_eq!(layout.offset(2), 8);
+/// assert_eq!(layout.range(1), 4..8);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsrLayout {
+    /// `offsets[r]` = first flat index of feature `r`; `offsets[d]` = total.
+    offsets: Vec<u32>,
+    /// The shared cardinality when every feature has the same one — lets
+    /// kernels compute `r · stride + code` in a register instead of loading
+    /// `offsets[r]` per feature.
+    uniform_stride: Option<u32>,
+}
+
+impl CsrLayout {
+    /// Computes the layout of `schema` (prefix sums of the cardinalities).
+    pub fn of(schema: &Schema) -> CsrLayout {
+        let mut offsets = Vec::with_capacity(schema.n_features() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for domain in schema.iter() {
+            total = total
+                .checked_add(domain.cardinality())
+                .expect("value space exceeds u32 addressing");
+            offsets.push(total);
+        }
+        let uniform_stride = match schema.iter().next() {
+            Some(first) if schema.iter().all(|d| d.cardinality() == first.cardinality()) => {
+                Some(first.cardinality())
+            }
+            _ => None,
+        };
+        CsrLayout { offsets, uniform_stride }
+    }
+
+    /// The shared feature cardinality, when all features have the same one.
+    #[inline]
+    pub fn uniform_stride(&self) -> Option<u32> {
+        self.uniform_stride
+    }
+
+    /// Number of features addressed.
+    pub fn n_features(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of values across all features (the shared buffer size).
+    pub fn total_values(&self) -> usize {
+        *self.offsets.last().expect("offsets always holds d + 1 entries") as usize
+    }
+
+    /// First flat index of feature `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > self.n_features()`.
+    #[inline]
+    pub fn offset(&self, r: usize) -> usize {
+        self.offsets[r] as usize
+    }
+
+    /// Cardinality of feature `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.n_features()`.
+    #[inline]
+    pub fn cardinality(&self, r: usize) -> usize {
+        (self.offsets[r + 1] - self.offsets[r]) as usize
+    }
+
+    /// Flat index range of feature `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.n_features()`.
+    #[inline]
+    pub fn range(&self, r: usize) -> core::ops::Range<usize> {
+        self.offsets[r] as usize..self.offsets[r + 1] as usize
+    }
+
+    /// The raw offset table (`d + 1` prefix sums), for fused kernels that
+    /// stream it alongside a row.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
 }
 
 /// Incremental [`Schema`] constructor returned by [`Schema::builder`].
@@ -145,5 +259,26 @@ mod tests {
     #[test]
     fn empty_schema_max_cardinality_is_zero() {
         assert_eq!(Schema::default().max_cardinality(), 0);
+    }
+
+    #[test]
+    fn csr_layout_prefix_sums_mixed_cardinalities() {
+        let s = Schema::builder()
+            .anonymous_feature("a", 3)
+            .anonymous_feature("b", 5)
+            .anonymous_feature("c", 2)
+            .build();
+        let layout = s.csr_layout();
+        assert_eq!(layout.offsets(), &[0, 3, 8, 10]);
+        assert_eq!(layout.total_values(), 10);
+        assert_eq!(layout.cardinality(1), 5);
+        assert_eq!(layout.range(2), 8..10);
+    }
+
+    #[test]
+    fn csr_layout_of_empty_schema() {
+        let layout = Schema::default().csr_layout();
+        assert_eq!(layout.n_features(), 0);
+        assert_eq!(layout.total_values(), 0);
     }
 }

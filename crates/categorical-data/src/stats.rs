@@ -3,14 +3,21 @@
 //! These power the information-theoretic distance metrics (GUDMM, ADC) and
 //! provide the occurrence counts `Ψ` used throughout the paper's equations.
 
-use crate::{CategoricalTable, MISSING};
+use crate::{CategoricalTable, CsrLayout, MISSING};
 
 /// Occurrence counts of every value of every feature over a table
 /// (the paper's `Ψ_{F_r = f_rt}(X)`), plus non-missing totals.
+///
+/// Counts live in one contiguous buffer addressed through the schema's
+/// [`CsrLayout`] (value `t` of feature `r` at `offset(r) + t`), so kernels
+/// that sweep a row against the table touch one flat allocation instead of
+/// chasing a pointer per feature (see `DESIGN.md` §"Hot path").
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrequencyTable {
-    /// `counts[r][t]` = number of objects with value `t` in feature `r`.
-    counts: Vec<Vec<u64>>,
+    /// CSR addressing of the value space.
+    layout: CsrLayout,
+    /// Flat value counts, indexed `layout.offset(r) + t`.
+    counts: Vec<u64>,
     /// `present[r]` = number of objects with a non-missing value in `r`.
     present: Vec<u64>,
 }
@@ -19,18 +26,24 @@ impl FrequencyTable {
     /// Counts value occurrences over the whole table.
     pub fn from_table(table: &CategoricalTable) -> Self {
         let d = table.n_features();
-        let mut counts: Vec<Vec<u64>> =
-            (0..d).map(|r| vec![0; table.schema().domain(r).cardinality() as usize]).collect();
+        let layout = table.schema().csr_layout();
+        let mut counts = vec![0u64; layout.total_values()];
         let mut present = vec![0u64; d];
+        let offsets = layout.offsets();
         for row in table.rows() {
             for (r, &code) in row.iter().enumerate() {
                 if code != MISSING {
-                    counts[r][code as usize] += 1;
+                    counts[offsets[r] as usize + code as usize] += 1;
                     present[r] += 1;
                 }
             }
         }
-        FrequencyTable { counts, present }
+        FrequencyTable { layout, counts, present }
+    }
+
+    /// The CSR layout the counts are addressed through.
+    pub fn layout(&self) -> &CsrLayout {
+        &self.layout
     }
 
     /// Count of value `code` in feature `r`.
@@ -39,7 +52,18 @@ impl FrequencyTable {
     ///
     /// Panics if `r` or `code` is out of bounds.
     pub fn count(&self, r: usize, code: u32) -> u64 {
-        self.counts[r][code as usize]
+        let range = self.layout.range(r);
+        self.counts[range][code as usize]
+    }
+
+    /// The contiguous counts of feature `r`'s values, for kernels that sweep
+    /// a whole domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn feature_counts(&self, r: usize) -> &[u64] {
+        &self.counts[self.layout.range(r)]
     }
 
     /// Number of non-missing entries in feature `r`.
@@ -53,13 +77,13 @@ impl FrequencyTable {
         if self.present[r] == 0 {
             0.0
         } else {
-            self.counts[r][code as usize] as f64 / self.present[r] as f64
+            self.count(r, code) as f64 / self.present[r] as f64
         }
     }
 
     /// Shannon entropy (nats) of feature `r`'s value distribution.
     pub fn entropy(&self, r: usize) -> f64 {
-        entropy_from_counts(self.counts[r].iter().copied())
+        entropy_from_counts(self.feature_counts(r).iter().copied())
     }
 }
 
@@ -171,22 +195,25 @@ impl JointDistribution {
     }
 }
 
-/// Shannon entropy (nats) of a count vector.
+/// Shannon entropy (nats) of a count stream.
+///
+/// Single pass, no allocation: accumulates `Σc` and `Σ c·ln c` together and
+/// uses `H = ln n − (Σ c·ln c) / n`, so callers can feed borrowed count
+/// slices (GUDMM/ADC metric construction calls this once per feature).
 pub fn entropy_from_counts<I: IntoIterator<Item = u64>>(counts: I) -> f64 {
-    let counts: Vec<u64> = counts.into_iter().collect();
-    let total: u64 = counts.iter().sum();
+    let mut total = 0u64;
+    let mut weighted_log = 0.0f64;
+    for c in counts {
+        if c > 0 {
+            total += c;
+            weighted_log += c as f64 * (c as f64).ln();
+        }
+    }
     if total == 0 {
         return 0.0;
     }
     let n = total as f64;
-    counts
-        .iter()
-        .filter(|&&c| c > 0)
-        .map(|&c| {
-            let p = c as f64 / n;
-            -p * p.ln()
-        })
-        .sum()
+    (n.ln() - weighted_log / n).max(0.0)
 }
 
 #[cfg(test)]

@@ -4,21 +4,39 @@
 //! mode minimizing the θ-weighted Hamming distance (Eq. 20), and feature
 //! importances θ are refreshed from per-feature intra-cluster agreement
 //! (Eqs. 21–22) until the partition reaches a fixpoint.
+//!
+//! # Parallel structure
+//!
+//! During Step 1 the encoding, modes, and θ are all read-only, so the
+//! assignment is embarrassingly parallel: rows are chunked across rayon
+//! workers and each chunk's labels computed independently — the result is
+//! *identical* to the sequential sweep, not an approximation. Step 2's mode
+//! counting and θ agreement counting accumulate integers per chunk and
+//! merge, which is exact and order-independent. `CameBuilder::parallel`
+//! toggles this (on by default; small inputs fall back to the serial path
+//! anyway). See `DESIGN.md` §"Hot path".
 
-use categorical_data::{CategoricalTable, MISSING};
+use categorical_data::{CategoricalTable, CsrLayout, MISSING};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
-use crate::{ClusterProfile, McdcError};
+use crate::McdcError;
+
+/// Row count below which the parallel paths are not worth the fork/join
+/// (the shim thread pool spawns scoped threads per call, so the crossover
+/// sits higher than with a persistent rayon pool).
+const PARALLEL_MIN_ROWS: usize = 8192;
 
 /// How CAME picks its initial modes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum CameInit {
-    /// Derive modes from the finest MGCPL granularity with at least `k`
-    /// clusters: take the `k` largest clusters there and use their modes.
-    /// Deterministic given Γ — this is what makes MCDC's Table III standard
-    /// deviations vanish.
+    /// Derive modes from the *coarsest* MGCPL granularity that still offers
+    /// at least `k` clusters: take the `k` largest clusters there and use
+    /// their modes, so the seeds reflect the most aggregated view able to
+    /// supply `k` groups. Deterministic given Γ — this is what makes MCDC's
+    /// Table III standard deviations vanish.
     #[default]
     GranularityGuided,
     /// Pick `k` distinct random objects as initial modes (classic k-modes).
@@ -48,6 +66,7 @@ pub struct Came {
     weighted: bool,
     init: CameInit,
     seed: u64,
+    parallel: bool,
 }
 
 /// Builder for [`Came`].
@@ -57,11 +76,18 @@ pub struct CameBuilder {
     weighted: bool,
     init: CameInit,
     seed: u64,
+    parallel: bool,
 }
 
 impl Default for CameBuilder {
     fn default() -> Self {
-        CameBuilder { max_iterations: 100, weighted: true, init: CameInit::default(), seed: 0 }
+        CameBuilder {
+            max_iterations: 100,
+            weighted: true,
+            init: CameInit::default(),
+            seed: 0,
+            parallel: true,
+        }
     }
 }
 
@@ -91,6 +117,15 @@ impl CameBuilder {
         self
     }
 
+    /// Toggles the rayon-parallel assignment/update paths (on by default).
+    /// Both paths produce bit-identical results; `false` forces the serial
+    /// sweep, which is useful for measuring the parallel speedup and for
+    /// asserting the equivalence in tests.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
     /// Validates and builds the aggregator.
     ///
     /// # Panics
@@ -103,6 +138,7 @@ impl CameBuilder {
             weighted: self.weighted,
             init: self.init,
             seed: self.seed,
+            parallel: self.parallel,
         }
     }
 }
@@ -138,6 +174,38 @@ impl CameResult {
     }
 }
 
+/// The cluster modes `Z` as one flat row-major `k×σ` matrix, so the
+/// assignment kernel streams all modes contiguously instead of chasing one
+/// heap allocation per cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ModeMatrix {
+    data: Vec<u32>,
+    sigma: usize,
+}
+
+impl ModeMatrix {
+    fn from_rows(rows: Vec<Vec<u32>>, sigma: usize) -> ModeMatrix {
+        let mut data = Vec::with_capacity(rows.len() * sigma);
+        for row in rows {
+            debug_assert_eq!(row.len(), sigma);
+            data.extend_from_slice(&row);
+        }
+        ModeMatrix { data, sigma }
+    }
+
+    fn k(&self) -> usize {
+        self.data.len() / self.sigma.max(1)
+    }
+
+    fn row(&self, l: usize) -> &[u32] {
+        &self.data[l * self.sigma..(l + 1) * self.sigma]
+    }
+
+    fn into_rows(self) -> Vec<Vec<u32>> {
+        self.data.chunks(self.sigma.max(1)).map(<[u32]>::to_vec).collect()
+    }
+}
+
 impl Came {
     /// Starts building a CAME aggregator with paper-default behaviour.
     pub fn builder() -> CameBuilder {
@@ -159,40 +227,29 @@ impl Came {
             return Err(McdcError::InvalidK { k, n });
         }
         let sigma = encoding.n_features();
+        let layout = encoding.schema().csr_layout();
         let mut theta = vec![1.0 / sigma as f64; sigma];
-        let mut modes = self.initial_modes(encoding, k);
+        let mut modes = ModeMatrix::from_rows(self.initial_modes(encoding, k), sigma);
+        // Gate on size only, not thread count: the chunked path is exercised
+        // (and its chunk-boundary bookkeeping tested) even on one thread,
+        // where it degenerates to the serial sweep plus negligible overhead.
+        let parallel = self.parallel && n >= PARALLEL_MIN_ROWS;
 
         let mut labels = vec![usize::MAX; n];
         let mut iterations = 0;
         for _ in 0..self.max_iterations {
             iterations += 1;
             // Step 1: fix Θ and Z, recompute the partition Q (Eq. 20).
-            let mut changed = false;
-            for i in 0..n {
-                let row = encoding.row(i);
-                let mut best = 0usize;
-                let mut best_dist = f64::INFINITY;
-                for (l, mode) in modes.iter().enumerate() {
-                    let dist = weighted_hamming(row, mode, &theta);
-                    if dist < best_dist {
-                        best_dist = dist;
-                        best = l;
-                    }
-                }
-                if labels[i] != best {
-                    labels[i] = best;
-                    changed = true;
-                }
-            }
+            let changed = assign_labels(encoding, &modes, &theta, &mut labels, parallel);
 
             // Re-seed emptied clusters on the objects farthest from their
             // current mode so the sought k is always delivered.
             reseed_empty_clusters(encoding, &mut labels, k, &theta, &modes);
 
             // Step 2: fix Q, update modes Z and feature weights Θ (Eqs. 21–22).
-            modes = modes_of(encoding, &labels, k);
+            modes = modes_of_matrix(encoding, &layout, &labels, k, parallel);
             if self.weighted {
-                theta = update_theta(encoding, &labels, &modes);
+                theta = update_theta(encoding, &labels, &modes, parallel);
             }
 
             if !changed {
@@ -200,7 +257,7 @@ impl Came {
             }
         }
 
-        Ok(CameResult { labels, theta, modes, iterations })
+        Ok(CameResult { labels, theta, modes: modes.into_rows(), iterations })
     }
 
     /// Picks initial modes per the configured strategy.
@@ -228,22 +285,196 @@ fn weighted_hamming(row: &[u32], mode: &[u32], theta: &[f64]) -> f64 {
         .sum()
 }
 
-/// Initial modes from the finest granularity with ≥ k clusters: the modes of
-/// its k largest clusters. Returns `None` when no granularity is wide enough.
-fn granularity_guided_modes(encoding: &CategoricalTable, k: usize) -> Option<Vec<Vec<u32>>> {
-    let n = encoding.n_rows();
-    // Granularities are ordered finest → coarsest; scan from the coarsest end
-    // for the *last* (coarsest) feature still offering at least k clusters, so
-    // modes reflect the most aggregated view that can seed k clusters.
-    let sigma = encoding.n_features();
-    let mut chosen: Option<usize> = None;
-    for j in (0..sigma).rev() {
-        if encoding.schema().domain(j).cardinality() as usize >= k {
-            chosen = Some(j);
-            break;
+/// Fused Step-1 kernel for one object: index of the θ-Hamming-nearest mode,
+/// scanning the flat mode matrix in one pass (ties resolve to the lowest
+/// cluster index, same as the sequential loop it replaces).
+fn nearest_mode(row: &[u32], modes: &ModeMatrix, theta: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut best_dist = f64::INFINITY;
+    for l in 0..modes.k() {
+        let dist = weighted_hamming(row, modes.row(l), theta);
+        if dist < best_dist {
+            best_dist = dist;
+            best = l;
         }
     }
-    let j = chosen?;
+    best
+}
+
+/// Step 1: recomputes every object's nearest mode, returning whether any
+/// label changed. The parallel path chunks rows and is bit-identical to the
+/// serial one (the per-row computation is independent and deterministic).
+fn assign_labels(
+    encoding: &CategoricalTable,
+    modes: &ModeMatrix,
+    theta: &[f64],
+    labels: &mut [usize],
+    parallel: bool,
+) -> bool {
+    let n = encoding.n_rows();
+    let sigma = encoding.n_features();
+    let mut changed = false;
+    if parallel {
+        let rows_per_chunk = chunk_rows(n);
+        let fresh: Vec<Vec<usize>> = encoding
+            .as_flat()
+            .par_chunks(rows_per_chunk * sigma)
+            .map(|block| {
+                block.chunks_exact(sigma).map(|row| nearest_mode(row, modes, theta)).collect()
+            })
+            .collect();
+        for (slot, new) in labels.iter_mut().zip(fresh.into_iter().flatten()) {
+            if *slot != new {
+                *slot = new;
+                changed = true;
+            }
+        }
+    } else {
+        for (i, slot) in labels.iter_mut().enumerate() {
+            let new = nearest_mode(encoding.row(i), modes, theta);
+            if *slot != new {
+                *slot = new;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Chunk granularity for the parallel paths: a handful of chunks per worker
+/// amortizes the spawn cost while keeping the tail short.
+fn chunk_rows(n: usize) -> usize {
+    n.div_ceil(rayon::current_num_threads() * 4).max(256)
+}
+
+/// Chunked `(start_row, labels_slice)` work list shared by the parallel
+/// reductions.
+fn label_chunks(labels: &[usize], n: usize) -> Vec<(usize, &[usize])> {
+    let rows_per_chunk = chunk_rows(n);
+    labels
+        .chunks(rows_per_chunk)
+        .enumerate()
+        .map(|(c, chunk)| (c * rows_per_chunk, chunk))
+        .collect()
+}
+
+/// Recomputes per-cluster modes from the current labels via one flat CSR
+/// count matrix (`k × total_values` of plain `u32` — modes need counts
+/// only, none of `ClusterProfile`'s similarity caches). The parallel path
+/// accumulates per-chunk matrices and sums them — integer counts make the
+/// merge exact, so the resulting modes equal the sequential ones.
+fn modes_of_matrix(
+    encoding: &CategoricalTable,
+    layout: &CsrLayout,
+    labels: &[usize],
+    k: usize,
+    parallel: bool,
+) -> ModeMatrix {
+    let n = encoding.n_rows();
+    let sigma = encoding.n_features();
+    let total = layout.total_values();
+    let offsets = layout.offsets();
+    let count_chunk = |start: usize, chunk: &[usize]| -> Vec<u32> {
+        let mut counts = vec![0u32; k * total];
+        for (offset, &l) in chunk.iter().enumerate() {
+            let base = l * total;
+            for (r, &code) in encoding.row(start + offset).iter().enumerate() {
+                if code != MISSING {
+                    counts[base + offsets[r] as usize + code as usize] += 1;
+                }
+            }
+        }
+        counts
+    };
+    let counts: Vec<u32> = if parallel {
+        label_chunks(labels, n)
+            .into_par_iter()
+            .map(|(start, chunk)| count_chunk(start, chunk))
+            .reduce(
+                || vec![0u32; k * total],
+                |mut acc, partial| {
+                    for (a, p) in acc.iter_mut().zip(&partial) {
+                        *a += p;
+                    }
+                    acc
+                },
+            )
+    } else {
+        count_chunk(0, labels)
+    };
+    // Per cluster per feature: most frequent value, ties to the lowest
+    // code, empty features to code 0 (same convention as
+    // `ClusterProfile::mode`).
+    let mut modes = Vec::with_capacity(k * sigma);
+    for l in 0..k {
+        let base = l * total;
+        for r in 0..sigma {
+            let feature = &counts[base + offsets[r] as usize..base + offsets[r + 1] as usize];
+            let best = feature
+                .iter()
+                .enumerate()
+                .max_by(|(ta, ca), (tb, cb)| ca.cmp(cb).then(tb.cmp(ta)))
+                .map_or(0, |(t, _)| t as u32);
+            modes.push(best);
+        }
+    }
+    ModeMatrix { data: modes, sigma }
+}
+
+/// Feature weight update of Eqs. (21)–(22): θ_r ∝ the number of objects
+/// agreeing with their cluster mode in feature r. Agreement counts are
+/// integers, so the parallel per-chunk accumulation is exact.
+fn update_theta(
+    encoding: &CategoricalTable,
+    labels: &[usize],
+    modes: &ModeMatrix,
+    parallel: bool,
+) -> Vec<f64> {
+    let n = encoding.n_rows();
+    let sigma = encoding.n_features();
+    let count_chunk = |start: usize, chunk: &[usize]| -> Vec<u64> {
+        let mut intra = vec![0u64; sigma];
+        for (offset, &l) in chunk.iter().enumerate() {
+            let row = encoding.row(start + offset);
+            let mode = modes.row(l);
+            for (slot, (&a, &b)) in intra.iter_mut().zip(row.iter().zip(mode)) {
+                if a == b && a != MISSING {
+                    *slot += 1;
+                }
+            }
+        }
+        intra
+    };
+    let intra: Vec<u64> = if parallel {
+        label_chunks(labels, n)
+            .into_par_iter()
+            .map(|(start, chunk)| count_chunk(start, chunk))
+            .reduce(
+                || vec![0u64; sigma],
+                |mut acc, partial| {
+                    for (a, p) in acc.iter_mut().zip(&partial) {
+                        *a += p;
+                    }
+                    acc
+                },
+            )
+    } else {
+        count_chunk(0, labels)
+    };
+    let total: u64 = intra.iter().sum();
+    if total == 0 {
+        return vec![1.0 / sigma as f64; sigma];
+    }
+    let total = total as f64;
+    intra.iter().map(|&v| v as f64 / total).collect()
+}
+
+/// Initial modes from the *coarsest* granularity with ≥ k clusters: the
+/// modes of its k largest clusters. Returns `None` when no granularity is
+/// wide enough.
+fn granularity_guided_modes(encoding: &CategoricalTable, k: usize) -> Option<Vec<Vec<u32>>> {
+    let n = encoding.n_rows();
+    let j = guiding_granularity(encoding, k)?;
     let kj = encoding.schema().domain(j).cardinality() as usize;
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); kj];
     for i in 0..n {
@@ -254,42 +485,45 @@ fn granularity_guided_modes(encoding: &CategoricalTable, k: usize) -> Option<Vec
     if members.iter().any(Vec::is_empty) {
         return None;
     }
+    // Plain value counting per member set — modes need counts only, not the
+    // similarity caches a full ClusterProfile maintains per add.
+    let layout = encoding.schema().csr_layout();
+    let offsets = layout.offsets();
+    let sigma = encoding.n_features();
+    let mut counts = vec![0u32; layout.total_values()];
     Some(
         members
             .iter()
-            .map(|m| ClusterProfile::from_members(encoding, m).mode())
+            .map(|m| {
+                counts.fill(0);
+                for &i in m {
+                    for (r, &code) in encoding.row(i).iter().enumerate() {
+                        if code != MISSING {
+                            counts[offsets[r] as usize + code as usize] += 1;
+                        }
+                    }
+                }
+                (0..sigma)
+                    .map(|r| {
+                        counts[offsets[r] as usize..offsets[r + 1] as usize]
+                            .iter()
+                            .enumerate()
+                            .max_by(|(ta, ca), (tb, cb)| ca.cmp(cb).then(tb.cmp(ta)))
+                            .map_or(0, |(t, _)| t as u32)
+                    })
+                    .collect()
+            })
             .collect(),
     )
 }
 
-/// Recomputes per-cluster modes from the current labels.
-fn modes_of(encoding: &CategoricalTable, labels: &[usize], k: usize) -> Vec<Vec<u32>> {
-    let mut profiles: Vec<ClusterProfile> =
-        (0..k).map(|_| ClusterProfile::new(encoding.schema())).collect();
-    for (i, &l) in labels.iter().enumerate() {
-        profiles[l].add(encoding.row(i));
-    }
-    profiles.iter().map(ClusterProfile::mode).collect()
-}
-
-/// Feature weight update of Eqs. (21)–(22): θ_r ∝ the number of objects
-/// agreeing with their cluster mode in feature r.
-fn update_theta(encoding: &CategoricalTable, labels: &[usize], modes: &[Vec<u32>]) -> Vec<f64> {
+/// Picks the granularity feature that seeds the guided modes. Granularities
+/// are ordered finest → coarsest, and the scan runs from the coarsest end
+/// for the *last* (coarsest) feature still offering at least `k` clusters,
+/// so modes reflect the most aggregated view that can seed `k` clusters.
+fn guiding_granularity(encoding: &CategoricalTable, k: usize) -> Option<usize> {
     let sigma = encoding.n_features();
-    let mut intra = vec![0.0f64; sigma];
-    for (i, &l) in labels.iter().enumerate() {
-        let row = encoding.row(i);
-        for (r, slot) in intra.iter_mut().enumerate() {
-            if row[r] == modes[l][r] && row[r] != MISSING {
-                *slot += 1.0;
-            }
-        }
-    }
-    let total: f64 = intra.iter().sum();
-    if total <= f64::EPSILON {
-        return vec![1.0 / sigma as f64; sigma];
-    }
-    intra.iter().map(|&v| v / total).collect()
+    (0..sigma).rev().find(|&j| encoding.schema().domain(j).cardinality() as usize >= k)
 }
 
 /// Moves the farthest objects into any emptied cluster so exactly `k`
@@ -299,7 +533,7 @@ fn reseed_empty_clusters(
     labels: &mut [usize],
     k: usize,
     theta: &[f64],
-    modes: &[Vec<u32>],
+    modes: &ModeMatrix,
 ) {
     let mut sizes = vec![0usize; k];
     for &l in labels.iter() {
@@ -316,7 +550,7 @@ fn reseed_empty_clusters(
             if sizes[li] <= 1 {
                 continue;
             }
-            let dist = weighted_hamming(encoding.row(i), &modes[li], theta);
+            let dist = weighted_hamming(encoding.row(i), modes.row(li), theta);
             if worst.is_none_or(|(_, w)| dist > w) {
                 worst = Some((i, dist));
             }
@@ -425,5 +659,34 @@ mod tests {
         let encoding = two_granularities();
         let came = Came::builder().build();
         assert_eq!(came.fit(&encoding, 2).unwrap(), came.fit(&encoding, 2).unwrap());
+    }
+
+    #[test]
+    fn guided_modes_seed_from_coarsest_sufficient_granularity() {
+        // Both granularities offer >= 2 clusters; the guide must pick the
+        // coarsest (feature 1, cardinality 2), not the finest. This pins the
+        // coarsest-first scan the rustdoc promises.
+        let encoding = two_granularities();
+        assert_eq!(guiding_granularity(&encoding, 2), Some(1));
+        // Only the fine granularity can supply 3+ clusters.
+        assert_eq!(guiding_granularity(&encoding, 3), Some(0));
+        assert_eq!(guiding_granularity(&encoding, 4), Some(0));
+        // Nothing offers 5 clusters.
+        assert_eq!(guiding_granularity(&encoding, 5), None);
+        // And the modes derived for k=2 are the coarse clusters' modes: the
+        // two coarse groups have fine labels {0,0,1,1}/{2,2,3,3} and coarse
+        // labels 0/1, so the modes (lowest code on fine ties) are [0,0], [2,1].
+        let modes = granularity_guided_modes(&encoding, 2).unwrap();
+        assert_eq!(modes, vec![vec![0, 0], vec![2, 1]]);
+    }
+
+    #[test]
+    fn parallel_and_serial_paths_agree_on_small_input() {
+        let encoding = two_granularities();
+        // n < PARALLEL_MIN_ROWS falls back to serial internally, but the
+        // builder flag must not change results either way.
+        let parallel = Came::builder().parallel(true).build().fit(&encoding, 2).unwrap();
+        let serial = Came::builder().parallel(false).build().fit(&encoding, 2).unwrap();
+        assert_eq!(parallel, serial);
     }
 }

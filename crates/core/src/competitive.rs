@@ -9,7 +9,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::{ClusterProfile, McdcError};
+use crate::{score_all, ClusterProfile, McdcError};
 
 /// Classic competitive learner. Construct via [`CompetitiveLearning::new`].
 #[derive(Debug, Clone, PartialEq)]
@@ -73,27 +73,28 @@ impl CompetitiveLearning {
         seeds.shuffle(&mut rng);
         seeds.truncate(k0);
 
-        struct State {
-            profile: ClusterProfile,
-            /// Cluster weight `u_l` of Eqs. (5)–(8), clamped to `[0, 1]`.
-            weight: f64,
-            wins_prev: u64,
-            wins_now: u64,
-        }
-        let mut clusters: Vec<State> = seeds
+        // Structure-of-arrays cluster state so the scoring sweep runs the
+        // fused flat kernel (same layout rationale as MGCPL's run_stage).
+        let layout = table.schema().csr_layout();
+        let mut profiles: Vec<ClusterProfile> = seeds
             .iter()
             .map(|&i| {
-                let mut profile = ClusterProfile::new(table.schema());
+                let mut profile = ClusterProfile::with_layout(layout.clone());
                 profile.add(table.row(i));
-                State { profile, weight: 1.0 / k0 as f64, wins_prev: 0, wins_now: 0 }
+                profile
             })
             .collect();
+        let mut weight = vec![1.0 / k0 as f64; k0];
+        let mut wins_prev = vec![0u64; k0];
+        let mut wins_now = vec![0u64; k0];
         let mut assignment: Vec<Option<usize>> = vec![None; n];
         for (c, &i) in seeds.iter().enumerate() {
             assignment[i] = Some(c);
         }
 
         let mut iterations = 0;
+        let mut prefactors: Vec<f64> = Vec::new();
+        let mut scores: Vec<f64> = Vec::new();
         for _ in 0..self.max_iterations {
             iterations += 1;
             let mut changed = false;
@@ -103,56 +104,70 @@ impl CompetitiveLearning {
             // unchecked through pass 1 — upward-only u plus a richer profile
             // win every subsequent object and the run collapses to k = 1
             // before the handicap ever engages.
-            let mut total_wins: u64 = clusters.iter().map(|c| c.wins_prev).sum();
-            for c in clusters.iter_mut() {
-                c.wins_now = 0;
-            }
+            let mut total_wins: u64 = wins_prev.iter().sum();
+            wins_now.fill(0);
+            let k = profiles.len();
+            prefactors.resize(k, 0.0);
+            scores.resize(k, 0.0);
 
             for i in 0..n {
                 let row = table.row(i);
                 // Winner by Eq. (6): argmax (1 − ρ_l) · u_l · s(x_i, C_l).
+                // ρ changes every object (total_wins is online), so the
+                // prefactor vector is refreshed per object — cheap (no
+                // sigmoid here) next to the feature sweep it scales.
+                let inv_total = if total_wins == 0 { 0.0 } else { 1.0 / total_wins as f64 };
+                for l in 0..k {
+                    let rho = (wins_prev[l] + wins_now[l]) as f64 * inv_total;
+                    prefactors[l] = (1.0 - rho) * weight[l];
+                }
+                // No rival penalty here, so the raw similarities are not needed.
+                score_all(row, &profiles, None, &prefactors, None, &mut scores);
                 let mut best = 0usize;
                 let mut best_score = f64::NEG_INFINITY;
-                for (c, cluster) in clusters.iter().enumerate() {
-                    let rho = if total_wins == 0 {
-                        0.0
-                    } else {
-                        (cluster.wins_prev + cluster.wins_now) as f64 / total_wins as f64
-                    };
-                    let score = (1.0 - rho) * cluster.weight * cluster.profile.similarity(row);
+                for (l, &score) in scores.iter().enumerate() {
                     if score > best_score {
                         best_score = score;
-                        best = c;
+                        best = l;
                     }
                 }
                 total_wins += 1;
                 if assignment[i] != Some(best) {
                     if let Some(p) = assignment[i] {
-                        clusters[p].profile.remove(row);
+                        profiles[p].remove(row);
                     }
-                    clusters[best].profile.add(row);
+                    profiles[best].add(row);
                     assignment[i] = Some(best);
                     changed = true;
                 }
-                clusters[best].wins_now += 1;
+                wins_now[best] += 1;
                 // Award the winner by a small step (Eq. 8), respecting the
                 // paper's 0 ≤ u ≤ 1 constraint.
-                clusters[best].weight = (clusters[best].weight + self.learning_rate).min(1.0);
+                weight[best] = (weight[best] + self.learning_rate).min(1.0);
             }
 
-            // Prune emptied clusters.
-            if clusters.iter().any(|c| c.profile.is_empty()) {
-                let mut remap: Vec<Option<usize>> = Vec::with_capacity(clusters.len());
+            // Prune emptied clusters, compacting every parallel array.
+            if profiles.iter().any(ClusterProfile::is_empty) {
+                let mut remap: Vec<Option<usize>> = Vec::with_capacity(k);
                 let mut next = 0usize;
-                for c in clusters.iter() {
-                    if c.profile.is_empty() {
+                for l in 0..k {
+                    if profiles[l].is_empty() {
                         remap.push(None);
-                    } else {
-                        remap.push(Some(next));
-                        next += 1;
+                        continue;
                     }
+                    if next != l {
+                        profiles.swap(next, l);
+                        weight[next] = weight[l];
+                        wins_prev[next] = wins_prev[l];
+                        wins_now[next] = wins_now[l];
+                    }
+                    remap.push(Some(next));
+                    next += 1;
                 }
-                clusters.retain(|c| !c.profile.is_empty());
+                profiles.truncate(next);
+                weight.truncate(next);
+                wins_prev.truncate(next);
+                wins_now.truncate(next);
                 for slot in assignment.iter_mut() {
                     if let Some(c) = *slot {
                         *slot = remap[c];
@@ -164,8 +179,8 @@ impl CompetitiveLearning {
             // Cumulative win shares (running-average conscience), for the
             // same reason as in MGCPL: a per-pass ρ snapshot oscillates at
             // small k and merges clusters past the natural structure.
-            for c in clusters.iter_mut() {
-                c.wins_prev += c.wins_now;
+            for (prev, &now) in wins_prev.iter_mut().zip(&wins_now) {
+                *prev += now;
             }
             if !changed {
                 break;

@@ -54,6 +54,6 @@ pub use encoding::{encode_mgcpl, encode_partitions};
 pub use error::McdcError;
 pub use mgcpl::{Mgcpl, MgcplBuilder, MgcplResult};
 pub use pipeline::{Mcdc, McdcBuilder, McdcResult};
-pub use profile::ClusterProfile;
+pub use profile::{score_all, score_all_transposed, ClusterProfile};
 pub use streaming::{MgcplResultSummary, StreamingMcdc};
 pub use trace::{LearningTrace, StageRecord};

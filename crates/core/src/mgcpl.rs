@@ -15,8 +15,10 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::weights::feature_weights;
-use crate::{ClusterProfile, LearningTrace, McdcError, StageRecord};
+use categorical_data::{CsrLayout, MISSING};
+
+use crate::weights::feature_weights_into;
+use crate::{score_all_transposed, ClusterProfile, LearningTrace, McdcError, StageRecord};
 
 /// Configurable MGCPL learner. Construct via [`Mgcpl::builder`].
 ///
@@ -183,18 +185,121 @@ fn sigmoid_weight(delta: f64) -> f64 {
     1.0 / (1.0 + (-10.0 * delta + 5.0).exp())
 }
 
-/// One live cluster's competition state.
+/// The live clusters' competition state, structure-of-arrays so the scoring
+/// hot loop sweeps dense slices (one value-major scoring matrix for
+/// [`score_all_transposed`], one flat `k×d` weight matrix) instead of
+/// hopping across per-cluster structs.
 #[derive(Debug, Clone)]
-struct ClusterState {
-    profile: ClusterProfile,
-    /// Award/penalty accumulator `δ_l`; `u_l` derives from it via Eq. (11).
-    delta: f64,
-    /// Winning count `g_l` of the previous pass (drives `ρ_l`, Eq. 7).
-    wins_prev: u64,
-    /// Winning count of the in-progress pass.
-    wins_now: u64,
-    /// Feature weights `ω_·l` (Eq. 18); uniform until the first pass ends.
+struct Cohort {
+    /// Frequency profiles, one per live cluster.
+    profiles: Vec<ClusterProfile>,
+    /// Award/penalty accumulators `δ_l`; `u_l` derives via Eq. (11).
+    delta: Vec<f64>,
+    /// Winning counts `g_l` of the previous passes (drive `ρ_l`, Eq. 7).
+    wins_prev: Vec<u64>,
+    /// Winning counts of the in-progress pass.
+    wins_now: Vec<u64>,
+    /// Feature weights `ω_rl` (Eq. 18), row-major `k×d`; uniform until the
+    /// first pass ends.
     omega: Vec<f64>,
+    /// The per-value scoring matrix, *value-major*: `value_major[v·k + l]`
+    /// holds cluster `l`'s similarity term for flat value `v` — `ω_rl · c/p`
+    /// in weighted mode, the plain `c/p` otherwise. Laying values outermost
+    /// makes [`score_all_transposed`]'s per-object sweep touch `d`
+    /// contiguous `k`-length columns (vectorizable adds, no gather).
+    /// Rebuilt at every pass start and patched per membership change (see
+    /// `DESIGN.md` §"Hot path").
+    value_major: Vec<f64>,
+    /// Shared CSR layout of the value space.
+    layout: CsrLayout,
+}
+
+impl Cohort {
+    fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Rebuilds the whole value-major scoring matrix from the current
+    /// profiles (× `omega` when `weighted`) — `O(k · total_values)`, once
+    /// per pass.
+    fn rebuild_value_major(&mut self, weighted: bool) {
+        let d = self.layout.n_features();
+        let k = self.len();
+        let total = self.layout.total_values();
+        self.value_major.clear();
+        self.value_major.resize(total * k, 0.0);
+        for (l, profile) in self.profiles.iter().enumerate() {
+            let scaled = profile.scaled_frequencies();
+            for r in 0..d {
+                let w = if weighted { self.omega[l * d + r] } else { 1.0 };
+                for i in self.layout.range(r) {
+                    self.value_major[i * k + l] = w * scaled[i];
+                }
+            }
+        }
+    }
+
+    /// Re-syncs cluster `l`'s column of the value-major matrix for the
+    /// features `row` touches, after that profile's counts changed
+    /// (`O(d · m)`).
+    fn sync_value_major(&mut self, l: usize, row: &[u32], weighted: bool) {
+        let d = self.layout.n_features();
+        let k = self.len();
+        let scaled = self.profiles[l].scaled_frequencies();
+        for (r, &code) in row.iter().enumerate() {
+            if code != MISSING {
+                let w = if weighted { self.omega[l * d + r] } else { 1.0 };
+                for i in self.layout.range(r) {
+                    self.value_major[i * k + l] = w * scaled[i];
+                }
+            }
+        }
+    }
+
+    /// Re-launch reset (Alg. 1 step 13): keep memberships/profiles, clear
+    /// the statistics that drive convergence. The ω-weighted matrix need
+    /// not be touched here — `run_stage` rebuilds it at every pass start.
+    fn reset_statistics(&mut self, d: usize) {
+        self.delta.fill(1.0);
+        self.wins_prev.fill(0);
+        self.wins_now.fill(0);
+        self.omega.clear();
+        self.omega.resize(self.len() * d, 1.0 / d as f64);
+    }
+
+    /// Removes empty clusters, compacting every parallel array and the
+    /// `assignment` indices.
+    fn prune_empty(&mut self, assignment: &mut [Option<usize>]) {
+        let d = if self.profiles.is_empty() { 0 } else { self.profiles[0].n_features() };
+        let k = self.len();
+        let mut remap: Vec<Option<usize>> = Vec::with_capacity(k);
+        let mut next = 0usize;
+        for l in 0..k {
+            if self.profiles[l].is_empty() {
+                remap.push(None);
+                continue;
+            }
+            if next != l {
+                self.profiles.swap(next, l);
+                self.delta[next] = self.delta[l];
+                self.wins_prev[next] = self.wins_prev[l];
+                self.wins_now[next] = self.wins_now[l];
+                self.omega.copy_within(l * d..(l + 1) * d, next * d);
+            }
+            remap.push(Some(next));
+            next += 1;
+        }
+        self.profiles.truncate(next);
+        self.delta.truncate(next);
+        self.wins_prev.truncate(next);
+        self.wins_now.truncate(next);
+        self.omega.truncate(next * d);
+        for slot in assignment.iter_mut() {
+            if let Some(c) = *slot {
+                *slot = remap[c];
+            }
+        }
+    }
 }
 
 impl Mgcpl {
@@ -241,22 +346,25 @@ impl Mgcpl {
             frequent_row_seeds(table, k0)
         };
 
-        let uniform_omega = vec![1.0 / d as f64; d];
-        let mut clusters: Vec<ClusterState> = seeds
-            .iter()
-            .map(|&i| {
-                let mut profile = ClusterProfile::new(table.schema());
-                profile.add(table.row(i));
-                ClusterState {
-                    profile,
-                    delta: 1.0,
-                    wins_prev: 0,
-                    wins_now: 0,
-                    omega: uniform_omega.clone(),
-                }
-            })
-            .collect();
-        // assignment[i] = index into `clusters` (stable across pruning via
+        // One CSR layout computation shared by every profile.
+        let layout = table.schema().csr_layout();
+        let mut clusters = Cohort {
+            profiles: seeds
+                .iter()
+                .map(|&i| {
+                    let mut profile = ClusterProfile::with_layout(layout.clone());
+                    profile.add(table.row(i));
+                    profile
+                })
+                .collect(),
+            delta: vec![1.0; k0],
+            wins_prev: vec![0; k0],
+            wins_now: vec![0; k0],
+            omega: vec![1.0 / d as f64; k0 * d],
+            value_major: Vec::new(),
+            layout,
+        };
+        // assignment[i] = index into the cohort (stable across pruning via
         // re-mapping), None until the object is first processed.
         let mut assignment: Vec<Option<usize>> = vec![None; n];
         for (c, &i) in seeds.iter().enumerate() {
@@ -286,14 +394,7 @@ impl Mgcpl {
             }
             k_old = k_after;
 
-            // Re-launch (Alg. 1 step 13): keep memberships/profiles, clear
-            // the statistics that drive convergence.
-            for cluster in clusters.iter_mut() {
-                cluster.delta = 1.0;
-                cluster.wins_prev = 0;
-                cluster.wins_now = 0;
-                cluster.omega = uniform_omega.clone();
-            }
+            clusters.reset_statistics(d);
         }
 
         Ok(MgcplResult { partitions, kappa, trace })
@@ -301,20 +402,30 @@ impl Mgcpl {
 
     /// Runs competitive penalization learning until the partition fixpoint,
     /// pruning emptied clusters; returns the number of passes used.
+    ///
+    /// Hot-path structure (see `DESIGN.md` §"Hot path"): per object one
+    /// [`score_all`] sweep evaluates every live cluster against the row with
+    /// the `(1 − ρ_l) · u_l` prefactor hoisted into a cached per-cluster
+    /// vector. ρ is fixed within a pass (it derives from the previous
+    /// passes' win counts), and δ — hence `u` — changes for at most the
+    /// winner and the rival per object, so only those two prefactors (and
+    /// sigmoids) are recomputed instead of `k` per object.
     fn run_stage(
         &self,
         table: &CategoricalTable,
         global: &FrequencyTable,
-        clusters: &mut Vec<ClusterState>,
+        clusters: &mut Cohort,
         assignment: &mut [Option<usize>],
         rng: &mut ChaCha8Rng,
     ) -> usize {
         let n = table.n_rows();
+        let d = table.n_features();
         let eta = self.learning_rate;
         let mut passes = 0;
         // Scratch buffers reused across objects to keep the pass allocation-free.
-        let mut scores: Vec<f64> = Vec::new();
-        let mut similarities: Vec<f64> = Vec::new();
+        let mut accumulators: Vec<f64> = Vec::new();
+        let mut one_minus_rho: Vec<f64> = Vec::new();
+        let mut prefactors: Vec<f64> = Vec::new();
         let mut order: Vec<usize> = (0..n).collect();
 
         for _ in 0..self.max_inner_iterations {
@@ -325,63 +436,79 @@ impl Mgcpl {
             order.shuffle(rng);
 
             // ρ_l uses the winning counts of the previous pass (Eq. 7).
-            let total_prev: u64 = clusters.iter().map(|c| c.wins_prev).sum();
-            for cluster in clusters.iter_mut() {
-                cluster.wins_now = 0;
-            }
+            let total_prev: u64 = clusters.wins_prev.iter().sum();
+            clusters.wins_now.fill(0);
+            let k = clusters.len();
+            one_minus_rho.clear();
+            one_minus_rho.extend(clusters.wins_prev.iter().map(|&w| {
+                if total_prev == 0 {
+                    1.0
+                } else {
+                    1.0 - w as f64 / total_prev as f64
+                }
+            }));
+            prefactors.clear();
+            prefactors.extend(
+                one_minus_rho.iter().zip(&clusters.delta).map(|(&m, &dl)| m * sigmoid_weight(dl)),
+            );
+            accumulators.resize(k, 0.0);
+            // Scoring runs over the pre-combined value-major matrix
+            // (contiguous per-value columns, no gather); rebuilt here so it
+            // reflects the pass's ω and any pruning from the previous pass.
+            // The plain mean of Eq. (1) is recovered via the 1/d post-scale.
+            let use_weighted = self.weighted_similarity;
+            clusters.rebuild_value_major(use_weighted);
+            let post_scale = if use_weighted { 1.0 } else { 1.0 / d as f64 };
 
             for &i in &order {
                 let row = table.row(i);
-                // Score every live cluster: (1 − ρ_l) · u_l · s(x_i, C_l).
-                scores.clear();
-                similarities.clear();
-                for cluster in clusters.iter() {
-                    let rho = if total_prev == 0 {
-                        0.0
-                    } else {
-                        cluster.wins_prev as f64 / total_prev as f64
-                    };
-                    let u = sigmoid_weight(cluster.delta);
-                    let s = if self.weighted_similarity {
-                        cluster.profile.weighted_similarity(row, &cluster.omega)
-                    } else {
-                        cluster.profile.similarity(row)
-                    };
-                    similarities.push(s);
-                    scores.push((1.0 - rho) * u * s);
-                }
-                // Winner v (Eq. 6) and rival nearest h (Eq. 9).
-                let (mut best, mut rival) = (0usize, usize::MAX);
-                for c in 1..scores.len() {
-                    if scores[c] > scores[best] {
-                        rival = best;
-                        best = c;
-                    } else if rival == usize::MAX || scores[c] > scores[rival] {
-                        rival = c;
-                    }
-                }
+                // Score every live cluster — (1 − ρ_l) · u_l · s(x_i, C_l) —
+                // and select the winner v (Eq. 6) and the rival h (Eq. 9) in
+                // the same fused sweep.
+                let (best, rival) = score_all_transposed(
+                    row,
+                    clusters.layout.offsets(),
+                    &clusters.value_major,
+                    post_scale,
+                    &prefactors,
+                    &mut accumulators,
+                );
 
                 // Assign x_i to the winner (Eq. 4 / Eq. 10).
                 let previous = assignment[i];
                 if previous != Some(best) {
                     if let Some(p) = previous {
-                        clusters[p].profile.remove(row);
+                        clusters.profiles[p].remove(row);
+                        clusters.sync_value_major(p, row, use_weighted);
                     }
-                    clusters[best].profile.add(row);
+                    clusters.profiles[best].add(row);
+                    clusters.sync_value_major(best, row, use_weighted);
                     assignment[i] = Some(best);
                     changed = true;
                 }
-                clusters[best].wins_now += 1;
+                clusters.wins_now[best] += 1;
 
                 // Award the winner (Eq. 12), penalize the rival by a step
                 // proportional to how close it came (Eq. 13). δ is clamped
                 // to [0, 1] so u stays in the sigmoid's responsive range
                 // (δ = 1 already yields u ≈ 0.993; unbounded growth would
-                // let long-time winners absorb unlimited penalties).
-                clusters[best].delta = (clusters[best].delta + eta).min(1.0);
+                // let long-time winners absorb unlimited penalties). The
+                // sigmoid (an `exp`) is only re-evaluated when δ actually
+                // moved — repeat winners sit saturated at the δ = 1 clamp,
+                // so most awards skip it.
+                let awarded = (clusters.delta[best] + eta).min(1.0);
+                if awarded != clusters.delta[best] {
+                    clusters.delta[best] = awarded;
+                    prefactors[best] = one_minus_rho[best] * sigmoid_weight(awarded);
+                }
                 if rival != usize::MAX {
-                    clusters[rival].delta =
-                        (clusters[rival].delta - eta * similarities[rival]).max(0.0);
+                    let rival_similarity = accumulators[rival] * post_scale;
+                    let penalized =
+                        (clusters.delta[rival] - eta * rival_similarity).max(0.0);
+                    if penalized != clusters.delta[rival] {
+                        clusters.delta[rival] = penalized;
+                        prefactors[rival] = one_minus_rho[rival] * sigmoid_weight(penalized);
+                    }
                 }
             }
 
@@ -392,20 +519,18 @@ impl Mgcpl {
             // after another and the learning overshoots far past the natural
             // granularity (the re-launch of Alg. 1 step 13 applied at the
             // elimination event rather than only at stage boundaries).
-            if clusters.iter().any(|c| c.profile.is_empty()) {
-                prune_empty(clusters, assignment);
-                for cluster in clusters.iter_mut() {
-                    cluster.delta = 1.0;
-                    cluster.wins_prev = 0;
-                    cluster.wins_now = 0;
-                }
+            if clusters.profiles.iter().any(ClusterProfile::is_empty) {
+                clusters.prune_empty(assignment);
+                clusters.delta.fill(1.0);
+                clusters.wins_prev.fill(0);
+                clusters.wins_now.fill(0);
                 changed = true;
             }
 
             // Update ω per cluster (Alg. 1 step 11, Eqs. 15–18).
             if self.weighted_similarity {
-                for cluster in clusters.iter_mut() {
-                    cluster.omega = feature_weights(&cluster.profile, global);
+                for (l, profile) in clusters.profiles.iter().enumerate() {
+                    feature_weights_into(profile, global, &mut clusters.omega[l * d..(l + 1) * d]);
                 }
             }
 
@@ -413,8 +538,8 @@ impl Mgcpl {
             // conscience): a per-pass snapshot oscillates at small k — the
             // handicapped majority loses objects, the roles flip next pass,
             // profiles blur, and clusters merge past the natural granularity.
-            for cluster in clusters.iter_mut() {
-                cluster.wins_prev += cluster.wins_now;
+            for (prev, &now) in clusters.wins_prev.iter_mut().zip(&clusters.wins_now) {
+                *prev += now;
             }
 
             if !changed {
@@ -445,35 +570,23 @@ fn frequent_row_seeds(table: &CategoricalTable, k0: usize) -> Vec<usize> {
     seeds
 }
 
-/// Removes empty clusters and compacts `assignment` indices.
-fn prune_empty(clusters: &mut Vec<ClusterState>, assignment: &mut [Option<usize>]) {
-    let mut remap: Vec<Option<usize>> = Vec::with_capacity(clusters.len());
-    let mut next = 0usize;
-    for cluster in clusters.iter() {
-        if cluster.profile.is_empty() {
-            remap.push(None);
-        } else {
-            remap.push(Some(next));
-            next += 1;
-        }
-    }
-    clusters.retain(|c| !c.profile.is_empty());
-    for slot in assignment.iter_mut() {
-        if let Some(c) = *slot {
-            *slot = remap[c];
-        }
-    }
-}
-
 /// Densifies an assignment into labels `0..k` in first-appearance order.
 fn dense_labels(assignment: &[Option<usize>]) -> Vec<usize> {
-    let mut remap: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    // Cluster indices are already compact (pruning re-maps them), so a
+    // direct-indexed table beats a HashMap here — this runs once per
+    // granularity over all n objects.
+    let k = assignment.iter().map(|slot| slot.map_or(0, |c| c + 1)).max().unwrap_or(0);
+    let mut remap: Vec<usize> = vec![usize::MAX; k];
+    let mut next = 0usize;
     assignment
         .iter()
         .map(|slot| {
             let c = slot.expect("all objects are assigned after a learning pass");
-            let next = remap.len();
-            *remap.entry(c).or_insert(next)
+            if remap[c] == usize::MAX {
+                remap[c] = next;
+                next += 1;
+            }
+            remap[c]
         })
         .collect()
 }

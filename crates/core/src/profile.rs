@@ -1,13 +1,54 @@
-use categorical_data::{CategoricalTable, Schema, MISSING};
+use std::sync::LazyLock;
+
+use categorical_data::{CategoricalTable, CsrLayout, Schema, MISSING};
+
+/// Shared reciprocal table `INV[p] = 1/p` for the present-count sizes that
+/// occur in practice. `rescale_feature` runs on every membership change
+/// (`d` times per add/remove), and an f64 division there costs more than
+/// the whole per-feature rescale; the table turns it into a load. Entries
+/// are computed with the same `1.0 / p` operation they replace, so results
+/// are bit-identical to dividing inline.
+static INV_TABLE: LazyLock<Box<[f64]>> =
+    LazyLock::new(|| (0..65_536).map(|p| if p == 0 { 0.0 } else { 1.0 / p as f64 }).collect());
+
+/// `1/p` via [`INV_TABLE`], falling back to the division for huge clusters.
+#[inline]
+fn inv_count(table: &[f64], p: u32) -> f64 {
+    if (p as usize) < table.len() {
+        table[p as usize]
+    } else {
+        1.0 / p as f64
+    }
+}
 
 /// Incremental frequency profile of one cluster: per-feature counts of every
 /// value among the cluster's current members.
 ///
 /// This is the data structure behind the paper's object–cluster similarity
 /// (Eqs. 1–2): `Ψ_{F_r = x_ir}(C_l)` is a direct count lookup and
-/// `Ψ_{F_r ≠ NULL}(C_l)` a per-feature present-count, both maintained in
-/// `O(d)` per membership change, which is what makes a full competitive
-/// learning pass `O(ndk)` and MGCPL overall linear.
+/// `Ψ_{F_r ≠ NULL}(C_l)` a per-feature present-count. A membership change
+/// costs `O(Σ_r m_r)` (each touched feature's pre-scaled frequencies are
+/// refreshed, see below) while scoring stays `O(d)` — the right trade for
+/// competitive learning, where an object is scored against every cluster
+/// but moves between at most two, keeping a full pass `O(ndk)` and MGCPL
+/// overall linear in `n`.
+///
+/// # Memory layout and the scoring hot path
+///
+/// Counts live in one flat buffer addressed through the schema's
+/// [`CsrLayout`] (value `t` of feature `r` at `layout.offset(r) + t`), and
+/// each feature's reciprocal present-count is cached in `inv_present` —
+/// maintained on every `add`/`remove` by recomputing `1 / present[r]` from
+/// the integer count, so it is exact and two profiles with the same members
+/// compare equal. Scoring a row is therefore one linear sweep of
+/// multiply–adds with no division and no pointer chasing; see `DESIGN.md`
+/// §"Hot path" for the measured effect and [`score_all`] for the fused
+/// batch kernel built on top.
+///
+/// Query codes must be in-domain (or [`MISSING`]): rows produced by a
+/// [`CategoricalTable`] always are (construction validates them), and the
+/// kernels `debug_assert` it — a release build fed an out-of-domain code
+/// returns a meaningless similarity instead of panicking.
 ///
 /// # Example
 ///
@@ -22,12 +63,23 @@ use categorical_data::{CategoricalTable, Schema, MISSING};
 /// // Feature 0 matches 2/2, feature 1 matches 1/2 => mean 0.75.
 /// assert_eq!(profile.similarity(&[0, 1]), 0.75);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterProfile {
-    /// `counts[r][t]` = members with value `t` in feature `r`.
-    counts: Vec<Vec<u32>>,
+    /// CSR addressing of the value space (shared shape with the schema).
+    layout: CsrLayout,
+    /// Flat value counts, indexed `layout.offset(r) + code`.
+    counts: Vec<u32>,
+    /// Pre-scaled relative frequencies `counts[i] · inv_present[r]`, the
+    /// Eq. (2) per-value similarities, maintained alongside `counts` so the
+    /// scoring sweep is a single lookup–multiply–add per feature.
+    scaled: Vec<f64>,
     /// `present[r]` = members with a non-missing value in feature `r`.
     present: Vec<u32>,
+    /// Cached reciprocals `1 / present[r]` (0 when the feature is empty),
+    /// refreshed from the integer count on every membership change.
+    inv_present: Vec<f64>,
+    /// Cached `1 / d` for the unweighted mean of Eq. (1).
+    inv_arity: f64,
     /// Number of member objects.
     size: u32,
 }
@@ -35,12 +87,34 @@ pub struct ClusterProfile {
 impl ClusterProfile {
     /// Creates an empty profile shaped for `schema`.
     pub fn new(schema: &Schema) -> Self {
+        ClusterProfile::with_layout(schema.csr_layout())
+    }
+
+    /// Creates an empty profile over a pre-built CSR layout (lets callers
+    /// share one layout computation across many profiles).
+    pub fn with_layout(layout: CsrLayout) -> Self {
+        let d = layout.n_features();
+        let total = layout.total_values();
         ClusterProfile {
-            counts: (0..schema.n_features())
-                .map(|r| vec![0; schema.domain(r).cardinality() as usize])
-                .collect(),
-            present: vec![0; schema.n_features()],
+            layout,
+            counts: vec![0; total],
+            scaled: vec![0.0; total],
+            present: vec![0; d],
+            inv_present: vec![0.0; d],
+            inv_arity: if d == 0 { 0.0 } else { 1.0 / d as f64 },
             size: 0,
+        }
+    }
+
+    /// Refreshes feature `r`'s cached reciprocal and pre-scaled frequencies
+    /// after its present-count changed (`O(m_r)`, division-free via
+    /// [`INV_TABLE`]).
+    fn rescale_feature(&mut self, inv_table: &[f64], r: usize) {
+        let inv = inv_count(inv_table, self.present[r]);
+        self.inv_present[r] = inv;
+        let range = self.layout.range(r);
+        for (scaled, &count) in self.scaled[range.clone()].iter_mut().zip(&self.counts[range]) {
+            *scaled = count as f64 * inv;
         }
     }
 
@@ -75,7 +149,7 @@ impl ClusterProfile {
     ///
     /// Panics if `r >= self.n_features()`.
     pub fn feature_cardinality(&self, r: usize) -> usize {
-        self.counts[r].len()
+        self.layout.cardinality(r)
     }
 
     /// Adds one object's row to the cluster.
@@ -84,11 +158,13 @@ impl ClusterProfile {
     ///
     /// Panics (in debug builds) if the row arity mismatches the profile.
     pub fn add(&mut self, row: &[u32]) {
-        debug_assert_eq!(row.len(), self.counts.len());
+        debug_assert_eq!(row.len(), self.present.len());
+        let inv_table: &[f64] = &INV_TABLE;
         for (r, &code) in row.iter().enumerate() {
             if code != MISSING {
-                self.counts[r][code as usize] += 1;
+                self.counts[self.layout.offset(r) + code as usize] += 1;
                 self.present[r] += 1;
+                self.rescale_feature(inv_table, r);
             }
         }
         self.size += 1;
@@ -101,17 +177,43 @@ impl ClusterProfile {
     /// Panics if the removal would drive any count negative (i.e. the row was
     /// never added).
     pub fn remove(&mut self, row: &[u32]) {
-        debug_assert_eq!(row.len(), self.counts.len());
+        debug_assert_eq!(row.len(), self.present.len());
         assert!(self.size > 0, "cannot remove from an empty cluster");
+        let inv_table: &[f64] = &INV_TABLE;
         for (r, &code) in row.iter().enumerate() {
             if code != MISSING {
-                let slot = &mut self.counts[r][code as usize];
+                let slot = &mut self.counts[self.layout.offset(r) + code as usize];
                 assert!(*slot > 0, "row was not a member of this cluster");
                 *slot -= 1;
                 self.present[r] -= 1;
+                self.rescale_feature(inv_table, r);
             }
         }
         self.size -= 1;
+    }
+
+    /// Absorbs every member of `other` (counts are added feature-wise).
+    ///
+    /// Integer counts make this exact and order-independent, so chunked
+    /// aggregation (build per-chunk profiles, merge) reproduces the
+    /// sequential result bit for bit. (CAME's parallel mode counting uses
+    /// raw count matrices instead — this method is the general-purpose
+    /// form for library users.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two profiles have different layouts.
+    pub fn merge(&mut self, other: &ClusterProfile) {
+        assert_eq!(self.layout, other.layout, "profiles must share a schema layout");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        let inv_table: &[f64] = &INV_TABLE;
+        for r in 0..self.present.len() {
+            self.present[r] += other.present[r];
+            self.rescale_feature(inv_table, r);
+        }
+        self.size += other.size;
     }
 
     /// Count of members holding value `code` in feature `r`
@@ -121,7 +223,17 @@ impl ClusterProfile {
     ///
     /// Panics if `r` or `code` is out of bounds.
     pub fn count(&self, r: usize, code: u32) -> u32 {
-        self.counts[r][code as usize]
+        self.counts[self.layout.range(r)][code as usize]
+    }
+
+    /// The contiguous counts of feature `r`'s values, for kernels that sweep
+    /// a whole domain (e.g. the α/β feature-weight updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn feature_counts(&self, r: usize) -> &[u32] {
+        &self.counts[self.layout.range(r)]
     }
 
     /// Number of members with a non-missing value in feature `r`
@@ -130,22 +242,65 @@ impl ClusterProfile {
         self.present[r]
     }
 
+    /// Cached reciprocal `1 / present(r)` (0 when the feature is empty).
+    pub fn inv_present(&self, r: usize) -> f64 {
+        self.inv_present[r]
+    }
+
+    /// The full pre-scaled frequency buffer (`counts[i] · inv_present[r]`,
+    /// CSR-addressed like [`CsrLayout::offsets`]): the per-value
+    /// similarities of Eq. (2) for every value at once. Callers that fold
+    /// extra per-feature factors into a derived buffer (e.g. MGCPL's
+    /// ω-weighted view) read slices of this after each membership change.
+    pub fn scaled_frequencies(&self) -> &[f64] {
+        &self.scaled
+    }
+
     /// Per-feature similarity `s(x_ir, C_l)` of Eq. (2): the relative
     /// frequency of `code` among the cluster's non-missing values in `r`.
     /// Missing query values and empty features score 0.
+    #[inline]
     pub fn value_similarity(&self, r: usize, code: u32) -> f64 {
-        if code == MISSING || self.present[r] == 0 {
+        if code == MISSING {
             return 0.0;
         }
-        self.counts[r][code as usize] as f64 / self.present[r] as f64
+        debug_assert!((code as usize) < self.layout.cardinality(r), "code out of domain");
+        self.scaled[self.layout.offset(r) + code as usize]
     }
 
     /// Object–cluster similarity `s(x_i, C_l)` of Eq. (1): the mean of the
     /// per-feature similarities.
+    ///
+    /// One lookup–add per feature against the pre-scaled frequency buffer:
+    /// no division, no count-to-float conversion, no per-feature pointer
+    /// chase. Uniform-cardinality schemas take a strided fast path with two
+    /// interleaved accumulators (a fixed, deterministic combine order).
+    #[inline]
     pub fn similarity(&self, row: &[u32]) -> f64 {
-        debug_assert_eq!(row.len(), self.counts.len());
-        let d = row.len() as f64;
-        row.iter().enumerate().map(|(r, &code)| self.value_similarity(r, code)).sum::<f64>() / d
+        debug_assert_eq!(row.len(), self.present.len());
+        let d = self.present.len();
+        if let Some(stride) = self.layout.uniform_stride() {
+            let stride = stride as usize;
+            let mut acc = 0.0f64;
+            let mut base = 0usize;
+            for &code in row {
+                if code != MISSING {
+                    debug_assert!((code as usize) < stride, "code out of domain");
+                    acc += self.scaled[base + code as usize];
+                }
+                base += stride;
+            }
+            return acc * self.inv_arity;
+        }
+        let offsets = &self.layout.offsets()[..d];
+        let mut acc = 0.0;
+        for ((r, &code), &off) in row.iter().enumerate().zip(offsets) {
+            if code != MISSING {
+                debug_assert!((code as usize) < self.layout.cardinality(r), "code out of domain");
+                acc += self.scaled[off as usize + code as usize];
+            }
+        }
+        acc * self.inv_arity
     }
 
     /// Feature-weighted object–cluster similarity of Eq. (14):
@@ -162,29 +317,51 @@ impl ClusterProfile {
     /// # Panics
     ///
     /// Panics (in debug builds) if `weights.len()` mismatches the arity.
+    #[inline]
     pub fn weighted_similarity(&self, row: &[u32], weights: &[f64]) -> f64 {
-        debug_assert_eq!(row.len(), self.counts.len());
-        debug_assert_eq!(weights.len(), self.counts.len());
-        row.iter()
-            .zip(weights)
-            .enumerate()
-            .map(|(r, (&code, &w))| w * self.value_similarity(r, code))
-            .sum::<f64>()
+        debug_assert_eq!(row.len(), self.present.len());
+        debug_assert_eq!(weights.len(), self.present.len());
+        let d = self.present.len();
+        if let Some(stride) = self.layout.uniform_stride() {
+            // Strided fast path, as in `similarity`: `r·stride + code` in a
+            // register instead of loading `offsets[r]` per feature.
+            let stride = stride as usize;
+            let mut acc = 0.0f64;
+            let mut base = 0usize;
+            for (&code, &w) in row.iter().zip(weights) {
+                if code != MISSING {
+                    debug_assert!((code as usize) < stride, "code out of domain");
+                    acc += w * self.scaled[base + code as usize];
+                }
+                base += stride;
+            }
+            return acc;
+        }
+        let offsets = &self.layout.offsets()[..d];
+        let mut acc = 0.0;
+        for ((r, (&code, &w)), &off) in row.iter().zip(weights).enumerate().zip(offsets) {
+            if code != MISSING {
+                debug_assert!((code as usize) < self.layout.cardinality(r), "code out of domain");
+                acc += w * self.scaled[off as usize + code as usize];
+            }
+        }
+        acc
     }
 
     /// The cluster mode: the most frequent value per feature (ties resolve to
     /// the lowest code; features with no present values yield code 0).
     pub fn mode(&self) -> Vec<u32> {
-        self.counts
-            .iter()
-            .map(|feature_counts| {
-                feature_counts
-                    .iter()
-                    .enumerate()
-                    .max_by(|(ta, ca), (tb, cb)| ca.cmp(cb).then(tb.cmp(ta)))
-                    .map_or(0, |(t, _)| t as u32)
-            })
-            .collect()
+        let mut mode = Vec::with_capacity(self.present.len());
+        for r in 0..self.present.len() {
+            let best = self
+                .feature_counts(r)
+                .iter()
+                .enumerate()
+                .max_by(|(ta, ca), (tb, cb)| ca.cmp(cb).then(tb.cmp(ta)))
+                .map_or(0, |(t, _)| t as u32);
+            mode.push(best);
+        }
+        mode
     }
 
     /// Intra-cluster compactness `β_rl` of Eq. (16) for feature `r`:
@@ -194,9 +371,123 @@ impl ClusterProfile {
         if self.size == 0 || self.present[r] == 0 {
             return 0.0;
         }
-        let sum_sq: u64 = self.counts[r].iter().map(|&c| c as u64 * c as u64).sum();
+        let sum_sq: u64 = self.feature_counts(r).iter().map(|&c| c as u64 * c as u64).sum();
         sum_sq as f64 / (self.size as f64 * self.present[r] as f64)
     }
+}
+
+/// Fused batch scoring kernel: evaluates one object against every cluster in
+/// a single call, writing the prefactor-scaled competition scores (and,
+/// when requested, the raw similarities) side by side.
+///
+/// For cluster `l`, the similarity `s(x, C_l)` is the `omega`-weighted
+/// similarity of Eq. (14) when `omega` is `Some` (one `d` sized weight row
+/// per cluster, row-major), the plain Eq. (1) mean otherwise, and
+/// `scores[l] = prefactors[l] · s`, the `(1 − ρ_l) · u_l · s(x, C_l)` of
+/// Eq. (6) with the prefactor hoisted out of the feature loop.
+/// `similarities`, when `Some`, receives the raw `s` values — callers
+/// without a rival-penalty term (e.g. classic competitive learning) pass
+/// `None` and skip those writes. One linear sweep per cluster, no
+/// divisions, no intermediate allocation (see `DESIGN.md` §"Hot path").
+///
+/// # Panics
+///
+/// Panics (in debug builds) when slice lengths disagree: `prefactors`,
+/// `scores`, and `similarities` (when present) must have one entry per
+/// profile, and `omega`, when present, `profiles.len() × d` entries.
+pub fn score_all(
+    row: &[u32],
+    profiles: &[ClusterProfile],
+    omega: Option<&[f64]>,
+    prefactors: &[f64],
+    mut similarities: Option<&mut [f64]>,
+    scores: &mut [f64],
+) {
+    let d = row.len();
+    debug_assert_eq!(prefactors.len(), profiles.len());
+    debug_assert_eq!(scores.len(), profiles.len());
+    if let Some(sims) = similarities.as_deref() {
+        debug_assert_eq!(sims.len(), profiles.len());
+    }
+    for (l, profile) in profiles.iter().enumerate() {
+        let s = match omega {
+            Some(omega) => {
+                debug_assert_eq!(omega.len(), profiles.len() * d);
+                profile.weighted_similarity(row, &omega[l * d..(l + 1) * d])
+            }
+            None => profile.similarity(row),
+        };
+        if let Some(sims) = similarities.as_deref_mut() {
+            sims[l] = s;
+        }
+        scores[l] = prefactors[l] * s;
+    }
+}
+
+/// The [`score_all`] sweep turned value-major, fused with the winner/rival
+/// selection of Eqs. (6)/(9): `matrix_t[v * k + l]` holds cluster `l`'s
+/// similarity term for flat value `v`, so scoring one object sweeps `d`
+/// *contiguous* `k`-length columns — straight-line vectorizable adds
+/// instead of one gather per (cluster, feature). Per cluster the terms are
+/// still accumulated in ascending feature order, so the sums are
+/// bit-identical to the cluster-major sweep.
+///
+/// On return, `accumulators[l]` holds the raw sweep sum
+/// `Σ_r matrix_t[(off_r + x_r)·k + l]`; cluster `l`'s similarity is
+/// `post_scale · accumulators[l]` (pass `1/d` to turn a plain-scaled matrix
+/// into the Eq. (1) mean, `1.0` when the matrix already carries normalized
+/// ω weights) and its competition score `prefactors[l]` times that. The
+/// returned pair is `(winner, rival)`: the argmax of the scores and the
+/// runner-up (`usize::MAX` when there is only one cluster), resolved
+/// first-index-wins on ties — scores themselves are never materialized.
+///
+/// This is the kernel MGCPL's `run_stage` drives once per object; the
+/// cohort maintains `matrix_t` incrementally (see `DESIGN.md` §"Hot path").
+///
+/// # Panics
+///
+/// Panics (in debug builds) when slice lengths disagree, and (always) when
+/// `prefactors` is empty.
+pub fn score_all_transposed(
+    row: &[u32],
+    offsets: &[u32],
+    matrix_t: &[f64],
+    post_scale: f64,
+    prefactors: &[f64],
+    accumulators: &mut [f64],
+) -> (usize, usize) {
+    let d = row.len();
+    debug_assert_eq!(offsets.len(), d + 1);
+    let k = prefactors.len();
+    assert!(k > 0, "cannot score against zero clusters");
+    debug_assert_eq!(matrix_t.len(), offsets[d] as usize * k);
+    debug_assert_eq!(accumulators.len(), k);
+    accumulators.fill(0.0);
+    for (&code, &off) in row.iter().zip(&offsets[..d]) {
+        if code != MISSING {
+            let column = &matrix_t[(off as usize + code as usize) * k..][..k];
+            for (acc, &term) in accumulators.iter_mut().zip(column) {
+                *acc += term;
+            }
+        }
+    }
+    let mut best = 0usize;
+    let mut rival = usize::MAX;
+    let mut best_score = prefactors[0] * (accumulators[0] * post_scale);
+    let mut rival_score = f64::NEG_INFINITY;
+    for l in 1..k {
+        let score = prefactors[l] * (accumulators[l] * post_scale);
+        if score > best_score {
+            rival = best;
+            rival_score = best_score;
+            best = l;
+            best_score = score;
+        } else if rival == usize::MAX || score > rival_score {
+            rival = l;
+            rival_score = score;
+        }
+    }
+    (best, rival)
 }
 
 #[cfg(test)]
@@ -298,6 +589,130 @@ mod tests {
         q.add(table.row(0));
         q.add(table.row(2));
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn merge_equals_sequential_adds() {
+        let mut left = ClusterProfile::new(&schema());
+        left.add(&[0, 1, 2]);
+        left.add(&[1, MISSING, 2]);
+        let mut right = ClusterProfile::new(&schema());
+        right.add(&[3, 0, 0]);
+        let mut sequential = ClusterProfile::new(&schema());
+        sequential.add(&[0, 1, 2]);
+        sequential.add(&[1, MISSING, 2]);
+        sequential.add(&[3, 0, 0]);
+        left.merge(&right);
+        assert_eq!(left, sequential);
+    }
+
+    #[test]
+    fn score_all_matches_per_cluster_calls() {
+        let mut a = ClusterProfile::new(&schema());
+        a.add(&[0, 1, 2]);
+        a.add(&[0, 2, 2]);
+        let mut b = ClusterProfile::new(&schema());
+        b.add(&[3, 3, 3]);
+        let profiles = [a, b];
+        let row = [0u32, 2, 3];
+        let pref = [0.7, 0.9];
+        let omega: Vec<f64> = vec![0.5, 0.25, 0.25, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0];
+        let mut sims = [0.0; 2];
+        let mut scores = [0.0; 2];
+
+        score_all(&row, &profiles, Some(&omega), &pref, Some(&mut sims), &mut scores);
+        for l in 0..2 {
+            let expected = profiles[l].weighted_similarity(&row, &omega[l * 3..(l + 1) * 3]);
+            assert!((sims[l] - expected).abs() < 1e-15);
+            assert!((scores[l] - pref[l] * expected).abs() < 1e-15);
+        }
+
+        score_all(&row, &profiles, None, &pref, Some(&mut sims), &mut scores);
+        for l in 0..2 {
+            let expected = profiles[l].similarity(&row);
+            assert!((sims[l] - expected).abs() < 1e-15);
+            assert!((scores[l] - pref[l] * expected).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn transposed_kernel_matches_cluster_major_scoring() {
+        // Three clusters over a mixed-cardinality schema, with a MISSING in
+        // the query: the value-major fused kernel must reproduce score_all's
+        // similarities (via the accumulators), its scores, and the
+        // winner/rival selection exactly.
+        let schema = Schema::uniform(4, 3);
+        let layout = schema.csr_layout();
+        let rows: [&[u32]; 5] =
+            [&[0, 1, 2, 0], &[0, 2, 2, 1], &[1, 1, 0, 2], &[2, 0, 1, 1], &[0, 0, 2, 2]];
+        let mut profiles =
+            vec![ClusterProfile::new(&schema), ClusterProfile::new(&schema), ClusterProfile::new(&schema)];
+        for (i, row) in rows.iter().enumerate() {
+            profiles[i % 3].add(row);
+        }
+        let prefactors = [0.9, 0.4, 0.7];
+        let d = 4;
+        let post_scale = 1.0 / d as f64;
+
+        // Build the plain value-major matrix (w = 1 per feature).
+        let k = profiles.len();
+        let total = layout.total_values();
+        let mut matrix_t = vec![0.0f64; total * k];
+        for (l, profile) in profiles.iter().enumerate() {
+            for (v, &s) in profile.scaled_frequencies().iter().enumerate() {
+                matrix_t[v * k + l] = s;
+            }
+        }
+
+        let query = [0u32, MISSING, 2, 1];
+        let mut accumulators = vec![0.0; k];
+        let (best, rival) = score_all_transposed(
+            &query,
+            layout.offsets(),
+            &matrix_t,
+            post_scale,
+            &prefactors,
+            &mut accumulators,
+        );
+
+        let mut sims = vec![0.0; k];
+        let mut scores = vec![0.0; k];
+        score_all(&query, &profiles, None, &prefactors, Some(&mut sims), &mut scores);
+        for l in 0..k {
+            assert!((accumulators[l] * post_scale - sims[l]).abs() < 1e-15, "cluster {l}");
+        }
+        // Winner/rival must match a reference scan over the scores.
+        let (mut want_best, mut want_rival) = (0usize, usize::MAX);
+        for c in 1..k {
+            if scores[c] > scores[want_best] {
+                want_rival = want_best;
+                want_best = c;
+            } else if want_rival == usize::MAX || scores[c] > scores[want_rival] {
+                want_rival = c;
+            }
+        }
+        assert_eq!((best, rival), (want_best, want_rival));
+    }
+
+    #[test]
+    fn transposed_kernel_single_cluster_has_no_rival() {
+        let schema = Schema::uniform(2, 2);
+        let layout = schema.csr_layout();
+        let mut profile = ClusterProfile::new(&schema);
+        profile.add(&[0, 1]);
+        let matrix_t: Vec<f64> = profile.scaled_frequencies().to_vec(); // k = 1
+        let mut accumulators = vec![0.0];
+        let (best, rival) = score_all_transposed(
+            &[0, 1],
+            layout.offsets(),
+            &matrix_t,
+            0.5,
+            &[1.0],
+            &mut accumulators,
+        );
+        assert_eq!(best, 0);
+        assert_eq!(rival, usize::MAX);
+        assert!((accumulators[0] * 0.5 - profile.similarity(&[0, 1])).abs() < 1e-15);
     }
 
     #[test]

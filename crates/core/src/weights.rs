@@ -24,13 +24,16 @@ pub fn inter_cluster_difference(
 ) -> f64 {
     let in_present = profile.present(r) as f64;
     let out_present = global.present(r) as f64 - in_present;
-    let cardinality = profile.feature_cardinality(r);
+    // Hoist the two divisions out of the per-value loop as reciprocals; the
+    // loop itself streams the cluster's and the table's contiguous CSR count
+    // slices for feature `r`.
+    let inv_in = if in_present > 0.0 { 1.0 / in_present } else { 0.0 };
+    let inv_out = if out_present > 0.0 { 1.0 / out_present } else { 0.0 };
     let mut sum_sq = 0.0;
-    for t in 0..cardinality {
-        let in_count = profile.count(r, t as u32) as f64;
-        let out_count = global.count(r, t as u32) as f64 - in_count;
-        let p_in = if in_present > 0.0 { in_count / in_present } else { 0.0 };
-        let p_out = if out_present > 0.0 { out_count / out_present } else { 0.0 };
+    for (&in_count, &total_count) in profile.feature_counts(r).iter().zip(global.feature_counts(r))
+    {
+        let p_in = in_count as f64 * inv_in;
+        let p_out = (total_count as f64 - in_count as f64) * inv_out;
         let diff = p_in - p_out;
         sum_sq += diff * diff;
     }
@@ -43,18 +46,35 @@ pub fn inter_cluster_difference(
 /// Falls back to uniform weights when every `H_rl` is zero (e.g. a cluster
 /// identical to the global distribution).
 pub fn feature_weights(profile: &ClusterProfile, global: &FrequencyTable) -> Vec<f64> {
+    let mut out = vec![0.0f64; profile.n_features()];
+    feature_weights_into(profile, global, &mut out);
+    out
+}
+
+/// Allocation-free form of [`feature_weights`]: writes `ω_l` into `out`.
+/// MGCPL calls this once per cluster per pass, writing straight into its
+/// flat `k×d` weight matrix.
+///
+/// # Panics
+///
+/// Panics if `out.len() != profile.n_features()`.
+pub fn feature_weights_into(profile: &ClusterProfile, global: &FrequencyTable, out: &mut [f64]) {
     let d = profile.n_features();
-    let mut h = vec![0.0f64; d];
-    for (r, slot) in h.iter_mut().enumerate() {
+    assert_eq!(out.len(), d, "one weight slot per feature");
+    for (r, slot) in out.iter_mut().enumerate() {
         let alpha = inter_cluster_difference(profile, global, r);
         let beta = profile.compactness(r);
         *slot = alpha * beta;
     }
-    let total: f64 = h.iter().sum();
+    let total: f64 = out.iter().sum();
     if total <= f64::EPSILON {
-        return vec![1.0 / d as f64; d];
+        out.fill(1.0 / d as f64);
+        return;
     }
-    h.iter().map(|&v| v / total).collect()
+    let inv_total = 1.0 / total;
+    for slot in out.iter_mut() {
+        *slot *= inv_total;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,187 @@
+//! Kernel-equivalence property test: the flat CSR `ClusterProfile` (one
+//! contiguous count buffer, cached reciprocals, pre-scaled frequencies)
+//! must agree with a straightforward nested-vec reference implementation on
+//! every query, across random add/remove sequences that include MISSING
+//! values. Agreement is to 1e-12 on the float kernels (the flat profile
+//! multiplies by cached reciprocals instead of dividing, which may differ
+//! in the last ulp) and exact on counts, modes, and presence.
+
+use categorical_data::{Schema, MISSING};
+use mcdc_core::ClusterProfile;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The textbook implementation the optimized profile must agree with:
+/// per-feature count vectors, divisions at query time.
+struct ReferenceProfile {
+    counts: Vec<Vec<u32>>,
+    present: Vec<u32>,
+    size: u32,
+}
+
+impl ReferenceProfile {
+    fn new(schema: &Schema) -> Self {
+        ReferenceProfile {
+            counts: (0..schema.n_features())
+                .map(|r| vec![0; schema.domain(r).cardinality() as usize])
+                .collect(),
+            present: vec![0; schema.n_features()],
+            size: 0,
+        }
+    }
+
+    fn add(&mut self, row: &[u32]) {
+        for (r, &code) in row.iter().enumerate() {
+            if code != MISSING {
+                self.counts[r][code as usize] += 1;
+                self.present[r] += 1;
+            }
+        }
+        self.size += 1;
+    }
+
+    fn remove(&mut self, row: &[u32]) {
+        for (r, &code) in row.iter().enumerate() {
+            if code != MISSING {
+                self.counts[r][code as usize] -= 1;
+                self.present[r] -= 1;
+            }
+        }
+        self.size -= 1;
+    }
+
+    fn value_similarity(&self, r: usize, code: u32) -> f64 {
+        if code == MISSING || self.present[r] == 0 {
+            return 0.0;
+        }
+        self.counts[r][code as usize] as f64 / self.present[r] as f64
+    }
+
+    fn similarity(&self, row: &[u32]) -> f64 {
+        let d = row.len() as f64;
+        row.iter().enumerate().map(|(r, &c)| self.value_similarity(r, c)).sum::<f64>() / d
+    }
+
+    fn weighted_similarity(&self, row: &[u32], weights: &[f64]) -> f64 {
+        row.iter()
+            .zip(weights)
+            .enumerate()
+            .map(|(r, (&c, &w))| w * self.value_similarity(r, c))
+            .sum()
+    }
+
+    fn mode(&self) -> Vec<u32> {
+        self.counts
+            .iter()
+            .map(|fc| {
+                fc.iter()
+                    .enumerate()
+                    .max_by(|(ta, ca), (tb, cb)| ca.cmp(cb).then(tb.cmp(ta)))
+                    .map_or(0, |(t, _)| t as u32)
+            })
+            .collect()
+    }
+
+    fn compactness(&self, r: usize) -> f64 {
+        if self.size == 0 || self.present[r] == 0 {
+            return 0.0;
+        }
+        let sum_sq: u64 = self.counts[r].iter().map(|&c| c as u64 * c as u64).sum();
+        sum_sq as f64 / (self.size as f64 * self.present[r] as f64)
+    }
+}
+
+fn random_row(rng: &mut ChaCha8Rng, cardinalities: &[u32], missing_rate: f64) -> Vec<u32> {
+    cardinalities
+        .iter()
+        .map(|&m| if rng.gen_bool(missing_rate) { MISSING } else { rng.gen_range(0..m) })
+        .collect()
+}
+
+#[test]
+fn flat_profile_agrees_with_reference_under_random_mutation() {
+    const TOLERANCE: f64 = 1e-12;
+    for case_seed in 0..40u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE ^ case_seed);
+        let d = rng.gen_range(1usize..8);
+        let cardinalities: Vec<u32> = (0..d).map(|_| rng.gen_range(2u32..7)).collect();
+        let schema = Schema::new(
+            cardinalities
+                .iter()
+                .enumerate()
+                .map(|(r, &m)| categorical_data::FeatureDomain::anonymous(format!("f{r}"), m))
+                .collect(),
+        );
+
+        let mut flat = ClusterProfile::new(&schema);
+        let mut reference = ReferenceProfile::new(&schema);
+        let mut members: Vec<Vec<u32>> = Vec::new();
+
+        for _step in 0..120 {
+            // Mutate: add a fresh random row (with MISSING entries), or
+            // remove a random current member.
+            let removing = !members.is_empty() && rng.gen_bool(0.4);
+            if removing {
+                let idx = rng.gen_range(0..members.len());
+                let row = members.swap_remove(idx);
+                flat.remove(&row);
+                reference.remove(&row);
+            } else {
+                let row = random_row(&mut rng, &cardinalities, 0.15);
+                flat.add(&row);
+                reference.add(&row);
+                members.push(row);
+            }
+
+            // Exact structure.
+            assert_eq!(flat.size(), reference.size);
+            for r in 0..d {
+                assert_eq!(flat.present(r), reference.present[r]);
+                for code in 0..cardinalities[r] {
+                    assert_eq!(flat.count(r, code), reference.counts[r][code as usize]);
+                }
+                assert!(
+                    (flat.compactness(r) - reference.compactness(r)).abs() < TOLERANCE,
+                    "compactness mismatch at feature {r} (case {case_seed})"
+                );
+            }
+            assert_eq!(flat.mode(), reference.mode());
+
+            // Float kernels on random queries (with MISSING values).
+            for _q in 0..4 {
+                let query = random_row(&mut rng, &cardinalities, 0.2);
+                let weights: Vec<f64> = {
+                    let raw: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
+                    let total: f64 = raw.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+                    raw.iter().map(|w| w / total).collect()
+                };
+                for r in 0..d {
+                    assert!(
+                        (flat.value_similarity(r, query[r])
+                            - reference.value_similarity(r, query[r]))
+                        .abs()
+                            < TOLERANCE
+                    );
+                }
+                assert!(
+                    (flat.similarity(&query) - reference.similarity(&query)).abs() < TOLERANCE,
+                    "similarity mismatch (case {case_seed})"
+                );
+                assert!(
+                    (flat.weighted_similarity(&query, &weights)
+                        - reference.weighted_similarity(&query, &weights))
+                    .abs()
+                        < TOLERANCE,
+                    "weighted similarity mismatch (case {case_seed})"
+                );
+            }
+        }
+
+        // Draining every member restores the pristine empty state.
+        for row in members.drain(..) {
+            flat.remove(&row);
+            reference.remove(&row);
+        }
+        assert_eq!(flat, ClusterProfile::new(&schema));
+    }
+}
