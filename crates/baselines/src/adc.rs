@@ -13,7 +13,10 @@
 use categorical_data::stats::{FrequencyTable, JointDistribution};
 use categorical_data::CategoricalTable;
 
-use crate::{metric_kmodes, validate_input, BaselineError, CategoricalClusterer, Clustering, ValueDistanceTable};
+use crate::{
+    metric_kmodes, validate_input, BaselineError, CategoricalClusterer, Clustering,
+    ValueDistanceTable,
+};
 
 /// The ADC clusterer.
 ///
@@ -179,9 +182,6 @@ mod tests {
     fn deterministic_per_seed() {
         let data = separated(80, 2, 3);
         let adc = Adc::new(9);
-        assert_eq!(
-            adc.cluster(data.table(), 2).unwrap(),
-            adc.cluster(data.table(), 2).unwrap()
-        );
+        assert_eq!(adc.cluster(data.table(), 2).unwrap(), adc.cluster(data.table(), 2).unwrap());
     }
 }

@@ -12,7 +12,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::{densify, hamming_distance, validate_input, BaselineError, CategoricalClusterer, Clustering};
+use crate::{
+    densify, hamming_distance, validate_input, BaselineError, CategoricalClusterer, Clustering,
+};
 
 /// The COOLCAT clusterer.
 ///

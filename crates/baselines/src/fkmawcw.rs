@@ -137,13 +137,7 @@ impl CategoricalClusterer for Fkmawcw {
                         .iter()
                         .zip(mode)
                         .zip(&attr_w[j])
-                        .map(|((&a, &b), &w)| {
-                            if a == b && a != MISSING {
-                                0.0
-                            } else {
-                                w.powf(q)
-                            }
-                        })
+                        .map(|((&a, &b), &w)| if a == b && a != MISSING { 0.0 } else { w.powf(q) })
                         .sum();
                     dist[j] = base / (cluster_w[j] + EPS).powf(p - 1.0) + EPS;
                 }
@@ -277,10 +271,7 @@ mod tests {
     fn deterministic_per_seed() {
         let data = separated(80, 2, 3);
         let f = Fkmawcw::new(7);
-        assert_eq!(
-            f.cluster(data.table(), 2).unwrap(),
-            f.cluster(data.table(), 2).unwrap()
-        );
+        assert_eq!(f.cluster(data.table(), 2).unwrap(), f.cluster(data.table(), 2).unwrap());
     }
 
     #[test]

@@ -14,7 +14,10 @@
 use categorical_data::stats::JointDistribution;
 use categorical_data::CategoricalTable;
 
-use crate::{metric_kmodes, validate_input, BaselineError, CategoricalClusterer, Clustering, ValueDistanceTable};
+use crate::{
+    metric_kmodes, validate_input, BaselineError, CategoricalClusterer, Clustering,
+    ValueDistanceTable,
+};
 
 /// The GUDMM clusterer.
 ///

@@ -13,7 +13,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::{densify, hamming_distance, validate_input, BaselineError, CategoricalClusterer, Clustering};
+use crate::{
+    densify, hamming_distance, validate_input, BaselineError, CategoricalClusterer, Clustering,
+};
 
 /// Which linkage rule merges clusters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,9 +34,7 @@ impl LinkageMethod {
         match self {
             LinkageMethod::Single => d_ak.min(d_bk),
             LinkageMethod::Complete => d_ak.max(d_bk),
-            LinkageMethod::Average => {
-                (na as f64 * d_ak + nb as f64 * d_bk) / (na + nb) as f64
-            }
+            LinkageMethod::Average => (na as f64 * d_ak + nb as f64 * d_bk) / (na + nb) as f64,
         }
     }
 }
@@ -150,7 +150,8 @@ impl CategoricalClusterer for Linkage {
                 if !active[c] || c == a || c == b {
                     continue;
                 }
-                let updated = self.method.update(dist[a * s + c], dist[b * s + c], sizes[a], sizes[b]);
+                let updated =
+                    self.method.update(dist[a * s + c], dist[b * s + c], sizes[a], sizes[b]);
                 dist[a * s + c] = updated;
                 dist[c * s + a] = updated;
             }

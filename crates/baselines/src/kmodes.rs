@@ -6,7 +6,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::{densify, hamming_distance, validate_input, BaselineError, CategoricalClusterer, Clustering};
+use crate::{
+    densify, hamming_distance, validate_input, BaselineError, CategoricalClusterer, Clustering,
+};
 
 /// Mode initialization strategy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,9 +102,8 @@ fn frequency_modes(table: &CategoricalTable, k: usize) -> Vec<Vec<u32>> {
         ranked.push(order);
     }
     // Synthetic mode j takes the (j mod m_r)-th most frequent value.
-    let synthetic: Vec<Vec<u32>> = (0..k)
-        .map(|j| (0..d).map(|r| ranked[r][j % ranked[r].len()]).collect())
-        .collect();
+    let synthetic: Vec<Vec<u32>> =
+        (0..k).map(|j| (0..d).map(|r| ranked[r][j % ranked[r].len()]).collect()).collect();
     // Snap to nearest distinct objects.
     let mut used = vec![false; table.n_rows()];
     synthetic
@@ -130,9 +131,7 @@ fn update_modes(table: &CategoricalTable, labels: &[usize], k: usize) -> Vec<Vec
     let d = table.n_features();
     let mut counts: Vec<Vec<Vec<u32>>> = (0..k)
         .map(|_| {
-            (0..d)
-                .map(|r| vec![0u32; table.schema().domain(r).cardinality() as usize])
-                .collect()
+            (0..d).map(|r| vec![0u32; table.schema().domain(r).cardinality() as usize]).collect()
         })
         .collect();
     for (i, &l) in labels.iter().enumerate() {

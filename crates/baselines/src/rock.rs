@@ -18,7 +18,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::{densify, jaccard_similarity, validate_input, BaselineError, CategoricalClusterer, Clustering};
+use crate::{
+    densify, jaccard_similarity, validate_input, BaselineError, CategoricalClusterer, Clustering,
+};
 
 /// The ROCK clusterer.
 ///
@@ -293,10 +295,7 @@ mod tests {
     fn is_deterministic_without_sampling() {
         let data = separated(100, 2, 2);
         let rock = Rock::new(0.5);
-        assert_eq!(
-            rock.cluster(data.table(), 2).unwrap(),
-            rock.cluster(data.table(), 2).unwrap()
-        );
+        assert_eq!(rock.cluster(data.table(), 2).unwrap(), rock.cluster(data.table(), 2).unwrap());
     }
 
     #[test]

@@ -117,13 +117,11 @@ pub fn metric_kmodes(
             if sizes[l] > 0 {
                 continue;
             }
-            let far = (0..n)
-                .filter(|&i| sizes[labels[i]] > 1)
-                .max_by(|&a, &b| {
-                    let da = metric.row_distance(table.row(a), &centers[labels[a]]);
-                    let db = metric.row_distance(table.row(b), &centers[labels[b]]);
-                    da.partial_cmp(&db).expect("finite")
-                });
+            let far = (0..n).filter(|&i| sizes[labels[i]] > 1).max_by(|&a, &b| {
+                let da = metric.row_distance(table.row(a), &centers[labels[a]]);
+                let db = metric.row_distance(table.row(b), &centers[labels[b]]);
+                da.partial_cmp(&db).expect("finite")
+            });
             if let Some(i) = far {
                 sizes[labels[i]] -= 1;
                 labels[i] = l;
@@ -213,8 +211,7 @@ mod tests {
     #[test]
     fn metric_kmodes_with_hamming_recovers_clusters() {
         use categorical_data::synth::GeneratorConfig;
-        let data =
-            GeneratorConfig::new("t", 200, vec![4; 8], 2).noise(0.05).generate(1).dataset;
+        let data = GeneratorConfig::new("t", 200, vec![4; 8], 2).noise(0.05).generate(1).dataset;
         let metric = hamming_metric(data.table().schema());
         let result = metric_kmodes(data.table(), &metric, 2, 3, 100).unwrap();
         let acc = cluster_eval::accuracy(data.labels(), &result.labels);

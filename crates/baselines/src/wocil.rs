@@ -12,7 +12,9 @@
 use categorical_data::stats::entropy_from_counts;
 use categorical_data::{CategoricalTable, MISSING};
 
-use crate::{densify, hamming_distance, validate_input, BaselineError, CategoricalClusterer, Clustering};
+use crate::{
+    densify, hamming_distance, validate_input, BaselineError, CategoricalClusterer, Clustering,
+};
 
 /// The WOCIL-style clusterer.
 ///
@@ -61,9 +63,8 @@ fn density_seeds(table: &CategoricalTable, k: usize) -> Vec<usize> {
     let n = table.n_rows();
     let d = table.n_features();
     // Density via per-feature frequency mass (O(nd), no pairwise sweep).
-    let mut frequencies: Vec<Vec<u32>> = (0..d)
-        .map(|r| vec![0u32; table.schema().domain(r).cardinality() as usize])
-        .collect();
+    let mut frequencies: Vec<Vec<u32>> =
+        (0..d).map(|r| vec![0u32; table.schema().domain(r).cardinality() as usize]).collect();
     for row in table.rows() {
         for (r, &v) in row.iter().enumerate() {
             if v != MISSING {
@@ -103,11 +104,9 @@ fn density_seeds(table: &CategoricalTable, k: usize) -> Vec<usize> {
 }
 
 fn score(table: &CategoricalTable, seeds: &[usize], i: usize, density: &[f64]) -> f64 {
-    let min_dist = seeds
-        .iter()
-        .map(|&s| hamming_distance(table.row(i), table.row(s)))
-        .min()
-        .unwrap_or(0) as f64;
+    let min_dist =
+        seeds.iter().map(|&s| hamming_distance(table.row(i), table.row(s))).min().unwrap_or(0)
+            as f64;
     density[i] * min_dist
 }
 

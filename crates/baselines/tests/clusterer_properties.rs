@@ -3,23 +3,25 @@
 
 use categorical_data::{CategoricalTable, Schema};
 use mcdc_baselines::{
-    Adc, BaselineError, CategoricalClusterer, Fkmawcw, Gudmm, KModes, Linkage, LinkageMethod,
-    Rock, Wocil,
+    Adc, BaselineError, CategoricalClusterer, Fkmawcw, Gudmm, KModes, Linkage, LinkageMethod, Rock,
+    Wocil,
 };
 use proptest::prelude::*;
 
 fn arbitrary_table() -> impl Strategy<Value = CategoricalTable> {
     (5usize..40, 1usize..6).prop_flat_map(|(n, d)| {
-        proptest::collection::vec(proptest::collection::vec(0u32..3, d), n).prop_map(
-            move |rows| {
-                CategoricalTable::from_rows(Schema::uniform(d, 3), rows.iter().map(Vec::as_slice))
-                    .expect("rows are schema-valid")
-            },
-        )
+        proptest::collection::vec(proptest::collection::vec(0u32..3, d), n).prop_map(move |rows| {
+            CategoricalTable::from_rows(Schema::uniform(d, 3), rows.iter().map(Vec::as_slice))
+                .expect("rows are schema-valid")
+        })
     })
 }
 
-fn check(clusterer: &dyn CategoricalClusterer, table: &CategoricalTable, k: usize) -> Result<(), TestCaseError> {
+fn check(
+    clusterer: &dyn CategoricalClusterer,
+    table: &CategoricalTable,
+    k: usize,
+) -> Result<(), TestCaseError> {
     match clusterer.cluster(table, k) {
         Ok(result) => {
             prop_assert_eq!(result.labels.len(), table.n_rows(), "{}", clusterer.name());

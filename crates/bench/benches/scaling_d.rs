@@ -12,9 +12,7 @@ fn bench_scaling_d(c: &mut Criterion) {
     for d in [20usize, 40, 80] {
         let data = scaling::custom(format!("d{d}"), 2_000, d, 3, 7);
         group.bench_with_input(BenchmarkId::from_parameter(d), &data, |b, data| {
-            b.iter(|| {
-                Mcdc::builder().seed(1).build().fit(data.table(), 3).expect("fit succeeds")
-            });
+            b.iter(|| Mcdc::builder().seed(1).build().fit(data.table(), 3).expect("fit succeeds"));
         });
     }
     group.finish();

@@ -12,9 +12,7 @@ fn bench_scaling_k(c: &mut Criterion) {
     group.sample_size(10);
     for k in [10usize, 20, 40] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| {
-                Mcdc::builder().seed(1).build().fit(data.table(), k).expect("fit succeeds")
-            });
+            b.iter(|| Mcdc::builder().seed(1).build().fit(data.table(), k).expect("fit succeeds"));
         });
     }
     group.finish();

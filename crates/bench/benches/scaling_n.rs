@@ -13,9 +13,7 @@ fn bench_scaling_n(c: &mut Criterion) {
         let data = scaling::syn_n(n, 7);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
-            b.iter(|| {
-                Mcdc::builder().seed(1).build().fit(data.table(), 3).expect("fit succeeds")
-            });
+            b.iter(|| Mcdc::builder().seed(1).build().fit(data.table(), 3).expect("fit succeeds"));
         });
     }
     group.finish();

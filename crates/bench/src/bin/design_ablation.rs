@@ -15,10 +15,7 @@ fn main() {
     let sets = datasets::table_ii(args.seed, None);
 
     println!("Design ablations over the eight Table II stand-ins (mean of per-set values)");
-    println!(
-        "{:<34} {:>10} {:>12} {:>8}",
-        "variant", "AMI(Y_s)", "|k_s - k*|", "sigma"
-    );
+    println!("{:<34} {:>10} {:>12} {:>8}", "variant", "AMI(Y_s)", "|k_s - k*|", "sigma");
 
     type Variant = (&'static str, Box<dyn Fn() -> MgcplBuilder>);
     let variants: Vec<Variant> = vec![
@@ -43,13 +40,7 @@ fn main() {
             sigma_sum += sigma;
         }
         let n = sets.len() as f64;
-        println!(
-            "{:<34} {:>10.3} {:>12.2} {:>8.2}",
-            name,
-            ami_sum / n,
-            gap_sum / n,
-            sigma_sum / n
-        );
+        println!("{:<34} {:>10.3} {:>12.2} {:>8.2}", name, ami_sum / n, gap_sum / n, sigma_sum / n);
     }
 }
 

@@ -17,11 +17,8 @@ fn main() {
         .noise(0.08)
         .generate(args.seed)
         .dataset;
-    let granular = Mgcpl::builder()
-        .seed(args.seed)
-        .build()
-        .fit(data.table())
-        .expect("demo data is non-empty");
+    let granular =
+        Mgcpl::builder().seed(args.seed).build().fit(data.table()).expect("demo data is non-empty");
     println!(
         "MGCPL granularities: kappa = {:?} (n = {}, workers = {})",
         granular.kappa,
@@ -29,22 +26,24 @@ fn main() {
         args.workers
     );
 
-    let items: Vec<WorkItem> = granular
-        .coarsest()
-        .iter()
-        .map(|&c| WorkItem { cost: 1, coarse_cluster: c })
-        .collect();
+    let items: Vec<WorkItem> =
+        granular.coarsest().iter().map(|&c| WorkItem { cost: 1, coarse_cluster: c }).collect();
 
     let ours = GranularPartitioner::new(args.workers).place(&granular);
     let baseline = round_robin(data.n_rows(), args.workers);
 
-    println!("\n{:<14} {:>10} {:>10} {:>14} {:>12}", "placement", "balance", "locality", "split-micro", "cross-msgs");
+    println!(
+        "\n{:<14} {:>10} {:>10} {:>14} {:>12}",
+        "placement", "balance", "locality", "split-micro", "cross-msgs"
+    );
     for (name, placement) in [("multi-granular", &ours), ("round-robin", &baseline)] {
         let report = GranularPartitioner::evaluate(placement, &granular);
         let stats = SimulatedCluster::new().run(placement, &items);
         println!(
             "{name:<14} {:>10.3} {:>10.3} {:>14} {:>12}",
-            report.balance_factor, report.locality, report.split_micro_clusters,
+            report.balance_factor,
+            report.locality,
+            report.split_micro_clusters,
             stats.cross_worker_messages
         );
     }

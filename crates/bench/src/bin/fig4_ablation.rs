@@ -24,9 +24,7 @@ fn main() {
                     .into_par_iter()
                     .map(|r| {
                         run_ablation(variant, ds.table(), ds.k_true(), args.seed + r as u64)
-                            .map(|labels| {
-                                cluster_eval::adjusted_rand_index(ds.labels(), &labels)
-                            })
+                            .map(|labels| cluster_eval::adjusted_rand_index(ds.labels(), &labels))
                             .unwrap_or(0.0)
                     })
                     .collect();

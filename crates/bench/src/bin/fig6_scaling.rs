@@ -80,10 +80,7 @@ fn time(f: impl FnOnce()) -> f64 {
 }
 
 fn print_header() {
-    println!(
-        "{:<10} {:>10} {:>10} {:>10} {:>10}",
-        "x", "MCDC", "K-MODES", "WOCIL", "AVG-LINK"
-    );
+    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "x", "MCDC", "K-MODES", "WOCIL", "AVG-LINK");
 }
 
 fn sweep_n(args: &Args) {

@@ -1,8 +1,13 @@
 //! Machine-readable perf baseline for the clustering hot path: times the
-//! MGCPL exploration, Γ encoding, and CAME aggregation stages on the
-//! `scaling::syn_n` family ({3k, 10k, 30k} rows by default) and writes
-//! `BENCH_hotpath.json` (stage, n, median wall ms, throughput rows/s) so
-//! future PRs can diff performance without re-deriving a harness.
+//! MGCPL exploration (serial and mini-batch engines), Γ encoding, and CAME
+//! aggregation stages on the `scaling::syn_n` family ({3k, 10k, 30k} rows
+//! by default) and writes `BENCH_hotpath.json` (stage, engine, n, median
+//! wall ms, throughput rows/s) so future PRs can diff performance without
+//! re-deriving a harness.
+//!
+//! The serial and mini-batch MGCPL runs are *interleaved* (serial rep,
+//! mini-batch rep, serial rep, …) so neighbor-load drift on the shared-vCPU
+//! build hosts hits both engines alike and the medians stay comparable.
 //!
 //! Usage: `cargo run --release -p mcdc-bench --bin hotpath_snapshot
 //!        [--out PATH] [--seed N] [--sizes a,b,c]`
@@ -10,20 +15,44 @@
 use std::time::Instant;
 
 use categorical_data::synth::scaling;
-use mcdc_core::{encode_mgcpl, Came, Mgcpl};
+use mcdc_core::{encode_mgcpl, Came, ExecutionPlan, Mgcpl};
 
 struct Entry {
     stage: &'static str,
+    engine: &'static str,
     n: usize,
     median_ms: f64,
     rows_per_s: f64,
+}
+
+/// A named closure timing one pipeline stage under a named engine.
+type Stage<'a> = (&'static str, &'static str, Box<dyn Fn() + 'a>);
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn time_ms(run: impl Fn()) -> f64 {
+    let start = Instant::now();
+    run();
+    start.elapsed().as_secs_f64() * 1e3
 }
 
 fn main() {
     let args = Args::parse();
     let mut entries: Vec<Entry> = Vec::new();
 
-    println!("{:<16} {:>8} {:>6} {:>12} {:>14}", "stage", "n", "reps", "median ms", "rows/s");
+    println!(
+        "{:<18} {:>10} {:>8} {:>6} {:>12} {:>14}",
+        "stage", "engine", "n", "reps", "median ms", "rows/s"
+    );
+    let mut push = |stage: &'static str, engine: &'static str, n: usize, reps: usize, ms: f64| {
+        let rows_per_s = n as f64 / (ms / 1e3);
+        println!("{stage:<18} {engine:>10} {n:>8} {reps:>6} {ms:>12.3} {rows_per_s:>14.0}");
+        entries.push(Entry { stage, engine, n, median_ms: ms, rows_per_s });
+    };
+
     for &n in &args.sizes {
         // Fewer repetitions at larger n keeps the snapshot under a minute.
         let reps = if n <= 3_000 {
@@ -34,26 +63,44 @@ fn main() {
             3
         };
         let data = scaling::syn_n(n, args.seed);
-        let mgcpl = Mgcpl::builder().seed(1).build();
+        let serial = Mgcpl::builder().seed(1).build();
+        // Four shards: enough replicas to exercise the merge machinery
+        // without drowning a single-core host in clone overhead.
+        let minibatch =
+            Mgcpl::builder().seed(1).execution(ExecutionPlan::mini_batch(n.div_ceil(4))).build();
 
-        let explored = mgcpl.fit(data.table()).expect("synthetic data fits");
+        let explored = serial.fit(data.table()).expect("synthetic data fits");
         let encoding = encode_mgcpl(&explored).expect("Gamma is encodable");
 
-        let stages: Vec<(&'static str, Box<dyn Fn()>)> = vec![
-            (
-                "mgcpl_explore",
-                Box::new(|| {
-                    std::hint::black_box(mgcpl.fit(data.table()).expect("fit succeeds"));
-                }),
-            ),
+        // Interleaved serial/mini-batch reps: alternating samples see the
+        // same neighbor load, so their medians stay comparable.
+        let mut serial_samples = Vec::with_capacity(reps);
+        let mut minibatch_samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            serial_samples.push(time_ms(|| {
+                std::hint::black_box(serial.fit(data.table()).expect("fit succeeds"));
+            }));
+            minibatch_samples.push(time_ms(|| {
+                std::hint::black_box(minibatch.fit(data.table()).expect("fit succeeds"));
+            }));
+        }
+        push("mgcpl_explore", "serial", n, reps, median(serial_samples));
+        push("mgcpl_minibatch", "minibatch", n, reps, median(minibatch_samples));
+
+        let stages: Vec<Stage> = vec![
             (
                 "encode_gamma",
+                "serial",
                 Box::new(|| {
                     std::hint::black_box(encode_mgcpl(&explored).expect("encodable"));
                 }),
             ),
             (
+                // The default CAME builder enables the chunked-parallel
+                // paths (exact, so only throughput differs) — label the
+                // entry with the engine that actually runs.
                 "came_aggregate",
+                "parallel",
                 Box::new(|| {
                     std::hint::black_box(
                         Came::builder().build().fit(&encoding, 3).expect("fit succeeds"),
@@ -61,20 +108,9 @@ fn main() {
                 }),
             ),
         ];
-
-        for (stage, run) in stages {
-            let mut samples: Vec<f64> = (0..reps)
-                .map(|_| {
-                    let start = Instant::now();
-                    run();
-                    start.elapsed().as_secs_f64() * 1e3
-                })
-                .collect();
-            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let median_ms = samples[samples.len() / 2];
-            let rows_per_s = n as f64 / (median_ms / 1e3);
-            println!("{stage:<16} {n:>8} {reps:>6} {median_ms:>12.3} {rows_per_s:>14.0}");
-            entries.push(Entry { stage, n, median_ms, rows_per_s });
+        for (stage, engine, run) in stages {
+            let samples: Vec<f64> = (0..reps).map(|_| time_ms(&run)).collect();
+            push(stage, engine, n, reps, median(samples));
         }
     }
 
@@ -93,8 +129,9 @@ fn render_json(entries: &[Entry], seed: u64) -> String {
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"stage\": \"{}\", \"n\": {}, \"median_ms\": {:.3}, \"rows_per_s\": {:.0}}}{}\n",
+            "    {{\"stage\": \"{}\", \"engine\": \"{}\", \"n\": {}, \"median_ms\": {:.3}, \"rows_per_s\": {:.0}}}{}\n",
             e.stage,
+            e.engine,
             e.n,
             e.median_ms,
             e.rows_per_s,
@@ -113,8 +150,11 @@ struct Args {
 
 impl Args {
     fn parse() -> Args {
-        let mut args =
-            Args { out: "BENCH_hotpath.json".to_owned(), seed: 7, sizes: vec![3_000, 10_000, 30_000] };
+        let mut args = Args {
+            out: "BENCH_hotpath.json".to_owned(),
+            seed: 7,
+            sizes: vec![3_000, 10_000, 30_000],
+        };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
             match flag.as_str() {

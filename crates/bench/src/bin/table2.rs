@@ -6,7 +6,9 @@ use mcdc_bench::datasets;
 
 fn main() {
     let args = Args::parse();
-    println!("Table II: Statistics of the data sets (d = features, n = objects, k* = true clusters)");
+    println!(
+        "Table II: Statistics of the data sets (d = features, n = objects, k* = true clusters)"
+    );
     println!("{:<4} {:<22} {:<8} {:>5} {:>8} {:>4}", "No.", "Data Set", "Abbrev.", "d", "n", "k*");
     for (i, ds) in datasets::table_ii(args.seed, args.data_dir.as_deref()).iter().enumerate() {
         println!(
@@ -20,8 +22,14 @@ fn main() {
         );
     }
     // The two synthetic efficiency sets (generated on demand by fig6_scaling).
-    println!("{:<4} {:<22} {:<8} {:>5} {:>8} {:>4}", 9, "Synthetic (large n)", "Syn_n", 10, 200_000, 3);
-    println!("{:<4} {:<22} {:<8} {:>5} {:>8} {:>4}", 10, "Synthetic (large d)", "Syn_d", 1000, 20_000, 3);
+    println!(
+        "{:<4} {:<22} {:<8} {:>5} {:>8} {:>4}",
+        9, "Synthetic (large n)", "Syn_n", 10, 200_000, 3
+    );
+    println!(
+        "{:<4} {:<22} {:<8} {:>5} {:>8} {:>4}",
+        10, "Synthetic (large d)", "Syn_d", 1000, 20_000, 3
+    );
 }
 
 struct Args {

@@ -14,11 +14,8 @@ use mcdc_bench::{datasets, format, Method};
 fn main() {
     let args = Args::parse();
     let sets = datasets::table_ii(args.seed, args.data_dir.as_deref());
-    let sets: Vec<_> = if args.quick {
-        sets.into_iter().filter(|d| d.n_rows() <= 1000).collect()
-    } else {
-        sets
-    };
+    let sets: Vec<_> =
+        if args.quick { sets.into_iter().filter(|d| d.n_rows() <= 1000).collect() } else { sets };
     let names: Vec<&str> = Method::TABLE3.iter().map(Method::name).collect();
 
     // summaries[dataset][method]
@@ -26,10 +23,7 @@ fn main() {
         .iter()
         .map(|ds| {
             eprintln!("running {} (n={}, d={}) ...", ds.name(), ds.n_rows(), ds.n_features());
-            Method::TABLE3
-                .iter()
-                .map(|&m| run_method(m, ds, args.runs, args.seed))
-                .collect()
+            Method::TABLE3.iter().map(|&m| run_method(m, ds, args.runs, args.seed)).collect()
         })
         .collect();
 
@@ -43,8 +37,10 @@ fn main() {
         for (ds, row) in sets.iter().zip(&summaries) {
             let cells: Vec<(f64, f64)> =
                 row.iter().map(|s| (s.mean.get(index), s.std.get(index))).collect();
-            let abbrev = datasets::abbrevs()
-                [datasets::table_ii(args.seed, None).iter().position(|d| d.name() == ds.name()).unwrap_or(0)];
+            let abbrev = datasets::abbrevs()[datasets::table_ii(args.seed, None)
+                .iter()
+                .position(|d| d.name() == ds.name())
+                .unwrap_or(0)];
             println!("{}", format::table3_row(abbrev, &cells));
         }
     }

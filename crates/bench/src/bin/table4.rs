@@ -9,14 +9,8 @@ use mcdc_bench::runner::{run_method, INDICES};
 use mcdc_bench::{datasets, Method};
 
 /// The six counterparts Table IV tests MCDC+F. against.
-const COUNTERPARTS: [Method; 6] = [
-    Method::KModes,
-    Method::Rock,
-    Method::Wocil,
-    Method::Fkmawcw,
-    Method::Gudmm,
-    Method::Adc,
-];
+const COUNTERPARTS: [Method; 6] =
+    [Method::KModes, Method::Rock, Method::Wocil, Method::Fkmawcw, Method::Gudmm, Method::Adc];
 
 fn main() {
     let args = Args::parse();

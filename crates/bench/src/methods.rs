@@ -68,34 +68,25 @@ impl Method {
     ///
     /// Returns a display string when the method fails to deliver `k`
     /// clusters — the harness scores such runs 0.000, matching Table III.
-    pub fn run(
-        &self,
-        table: &CategoricalTable,
-        k: usize,
-        seed: u64,
-    ) -> Result<Vec<usize>, String> {
+    pub fn run(&self, table: &CategoricalTable, k: usize, seed: u64) -> Result<Vec<usize>, String> {
         let show = |e: &dyn std::fmt::Display| e.to_string();
         match self {
-            Method::KModes => KModes::new(seed)
+            Method::KModes => {
+                KModes::new(seed).cluster(table, k).map(|c| c.labels).map_err(|e| show(&e))
+            }
+            Method::Rock => Rock::new(0.5)
+                .with_seed(seed)
                 .cluster(table, k)
                 .map(|c| c.labels)
                 .map_err(|e| show(&e)),
-            Method::Rock => {
-                Rock::new(0.5).with_seed(seed).cluster(table, k).map(|c| c.labels).map_err(|e| show(&e))
+            Method::Wocil => Wocil::new().cluster(table, k).map(|c| c.labels).map_err(|e| show(&e)),
+            Method::Fkmawcw => {
+                Fkmawcw::new(seed).cluster(table, k).map(|c| c.labels).map_err(|e| show(&e))
             }
-            Method::Wocil => {
-                Wocil::new().cluster(table, k).map(|c| c.labels).map_err(|e| show(&e))
-            }
-            Method::Fkmawcw => Fkmawcw::new(seed)
-                .cluster(table, k)
-                .map(|c| c.labels)
-                .map_err(|e| show(&e)),
             Method::Gudmm => {
                 Gudmm::new(seed).cluster(table, k).map(|c| c.labels).map_err(|e| show(&e))
             }
-            Method::Adc => {
-                Adc::new(seed).cluster(table, k).map(|c| c.labels).map_err(|e| show(&e))
-            }
+            Method::Adc => Adc::new(seed).cluster(table, k).map(|c| c.labels).map_err(|e| show(&e)),
             Method::Mcdc => Mcdc::builder()
                 .seed(seed)
                 .build()
@@ -103,22 +94,16 @@ impl Method {
                 .map(|r| r.labels().to_vec())
                 .map_err(|e| show(&e)),
             Method::McdcGudmm => {
-                let result = Mcdc::builder()
-                    .seed(seed)
-                    .build()
-                    .fit(table, k)
-                    .map_err(|e| show(&e))?;
+                let result =
+                    Mcdc::builder().seed(seed).build().fit(table, k).map_err(|e| show(&e))?;
                 Gudmm::new(seed)
                     .cluster(result.encoding(), k)
                     .map(|c| c.labels)
                     .map_err(|e| show(&e))
             }
             Method::McdcFkmawcw => {
-                let result = Mcdc::builder()
-                    .seed(seed)
-                    .build()
-                    .fit(table, k)
-                    .map_err(|e| show(&e))?;
+                let result =
+                    Mcdc::builder().seed(seed).build().fit(table, k).map_err(|e| show(&e))?;
                 Fkmawcw::new(seed)
                     .cluster(result.encoding(), k)
                     .map(|c| c.labels)
@@ -135,10 +120,7 @@ mod tests {
 
     #[test]
     fn every_method_runs_on_easy_data() {
-        let data = GeneratorConfig::new("t", 120, vec![4; 8], 2)
-            .noise(0.05)
-            .generate(1)
-            .dataset;
+        let data = GeneratorConfig::new("t", 120, vec![4; 8], 2).noise(0.05).generate(1).dataset;
         for method in Method::TABLE3 {
             let labels = method
                 .run(data.table(), 2, 7)

@@ -78,11 +78,7 @@ pub fn run_method(method: Method, dataset: &Dataset, runs: usize, base_seed: u64
                 .map(|labels| Scores::evaluate(dataset.labels(), &labels))
         })
         .collect();
-    let results = if method.is_deterministic() {
-        vec![results[0]; runs]
-    } else {
-        results
-    };
+    let results = if method.is_deterministic() { vec![results[0]; runs] } else { results };
     summarize(&results)
 }
 

@@ -39,6 +39,12 @@ pub enum DataError {
     Io(String),
     /// The operation needed a non-empty table.
     EmptyTable,
+    /// A requested row sharding was invalid (zero batch size, batch larger
+    /// than the table, or an empty/out-of-range shard).
+    InvalidShard {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -54,9 +60,12 @@ impl fmt::Display for DataError {
             DataError::UnknownLabel { feature, label } => {
                 write!(f, "label {label:?} is not in the domain of feature {feature}")
             }
-            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             DataError::Io(message) => write!(f, "io error: {message}"),
             DataError::EmptyTable => write!(f, "operation requires a non-empty table"),
+            DataError::InvalidShard { message } => write!(f, "invalid shard: {message}"),
         }
     }
 }

@@ -65,7 +65,8 @@ impl Default for CsvOptions {
 pub fn read_csv(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Dataset, DataError> {
     let path = path.as_ref();
     let text = fs::read_to_string(path)?;
-    let name = path.file_stem().map_or_else(|| "csv".to_owned(), |s| s.to_string_lossy().into_owned());
+    let name =
+        path.file_stem().map_or_else(|| "csv".to_owned(), |s| s.to_string_lossy().into_owned());
     read_csv_named(&name, &text, options)
 }
 
@@ -90,11 +91,8 @@ fn read_csv_named(name: &str, text: &str, options: &CsvOptions) -> Result<Datase
         return Err(DataError::EmptyTable);
     }
 
-    let header: Option<Vec<String>> = if options.has_header {
-        Some(records.remove(0).1)
-    } else {
-        None
-    };
+    let header: Option<Vec<String>> =
+        if options.has_header { Some(records.remove(0).1) } else { None };
     if records.is_empty() {
         return Err(DataError::EmptyTable);
     }
@@ -205,7 +203,10 @@ fn split_record(line: &str, delimiter: char, line_no: usize) -> Result<Vec<Strin
         }
     }
     if in_quotes {
-        return Err(DataError::Parse { line: line_no, message: "unterminated quoted field".into() });
+        return Err(DataError::Parse {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
     }
     fields.push(field);
     Ok(fields)
@@ -225,14 +226,7 @@ pub fn write_csv(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), DataEr
             if code == MISSING {
                 fields.push("?".to_owned());
             } else {
-                fields.push(
-                    table
-                        .schema()
-                        .domain(r)
-                        .label(code)
-                        .unwrap_or("?")
-                        .to_owned(),
-                );
+                fields.push(table.schema().domain(r).label(code).unwrap_or("?").to_owned());
             }
         }
         fields.push(format!("c{}", dataset.labels()[i]));
@@ -317,10 +311,7 @@ mod tests {
 
     #[test]
     fn empty_input_is_an_error() {
-        assert!(matches!(
-            read_csv_str("", &CsvOptions::default()),
-            Err(DataError::EmptyTable)
-        ));
+        assert!(matches!(read_csv_str("", &CsvOptions::default()), Err(DataError::EmptyTable)));
     }
 
     #[test]

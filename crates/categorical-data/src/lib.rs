@@ -36,6 +36,7 @@ mod dataset;
 mod domain;
 mod error;
 mod schema;
+mod shard;
 mod table;
 
 pub mod io;
@@ -46,6 +47,7 @@ pub use dataset::Dataset;
 pub use domain::FeatureDomain;
 pub use error::DataError;
 pub use schema::{CsrLayout, Schema, SchemaBuilder};
+pub use shard::TableShard;
 pub use table::{CategoricalTable, RowsIter};
 
 /// Value code marking a missing entry.

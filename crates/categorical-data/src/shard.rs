@@ -1,0 +1,231 @@
+//! Zero-copy row-range shards over a [`CategoricalTable`].
+//!
+//! The execution engine in `mcdc-core` (and the placement simulator in
+//! `mcdc-dist-sim`) splits a table into deterministic batches of rows:
+//! shard `s` of batch size `b` covers rows `[s·b, min((s+1)·b, n))`. A
+//! [`TableShard`] is a borrowed view over such a range — no row is copied,
+//! and the shard exposes the same row accessors as the table so per-shard
+//! kernels (profile building, cost accounting) run unchanged.
+
+use crate::{CategoricalTable, DataError, Schema};
+
+/// A borrowed, zero-copy view of a contiguous row range of a
+/// [`CategoricalTable`].
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::{CategoricalTable, Schema};
+///
+/// let mut table = CategoricalTable::new(Schema::uniform(2, 3));
+/// for row in [[0, 1], [1, 2], [2, 0], [0, 0], [1, 1]] {
+///     table.push_row(&row)?;
+/// }
+/// let shards = table.shard_rows(2)?;
+/// assert_eq!(shards.len(), 3);
+/// assert_eq!(shards[1].row(0), table.row(2));
+/// assert_eq!(shards[2].n_rows(), 1);
+/// assert_eq!(shards[2].global_index(0), 4);
+/// # Ok::<(), categorical_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableShard<'a> {
+    table: &'a CategoricalTable,
+    start: usize,
+    end: usize,
+}
+
+impl<'a> TableShard<'a> {
+    /// Number of rows in the shard.
+    pub fn n_rows(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the shard covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Number of features (same as the underlying table).
+    pub fn n_features(&self) -> usize {
+        self.table.n_features()
+    }
+
+    /// The schema of the underlying table.
+    pub fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    /// The codes of the shard-local row `i` (row `start + i` of the table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n_rows()`.
+    pub fn row(&self, i: usize) -> &'a [u32] {
+        assert!(i < self.n_rows(), "shard row index out of bounds");
+        self.table.row(self.start + i)
+    }
+
+    /// Maps the shard-local row `i` back to its table row index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n_rows()`.
+    pub fn global_index(&self, i: usize) -> usize {
+        assert!(i < self.n_rows(), "shard row index out of bounds");
+        self.start + i
+    }
+
+    /// The `[start, end)` table row range the shard covers.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Iterates over the shard's rows in order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &'a [u32]> + '_ {
+        (self.start..self.end).map(|i| self.table.row(i))
+    }
+
+    /// The shard's rows as one contiguous row-major code slice (zero-copy
+    /// into the table's flat buffer).
+    pub fn as_flat(&self) -> &'a [u32] {
+        let d = self.table.n_features();
+        &self.table.as_flat()[self.start * d..self.end * d]
+    }
+}
+
+impl CategoricalTable {
+    /// A zero-copy view of the row range `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidShard`] when the range is empty or runs
+    /// past the table.
+    pub fn shard(&self, start: usize, end: usize) -> Result<TableShard<'_>, DataError> {
+        if start >= end {
+            return Err(DataError::InvalidShard {
+                message: format!("shard range {start}..{end} is empty"),
+            });
+        }
+        if end > self.n_rows() {
+            return Err(DataError::InvalidShard {
+                message: format!("shard range {start}..{end} exceeds {} rows", self.n_rows()),
+            });
+        }
+        Ok(TableShard { table: self, start, end })
+    }
+
+    /// Splits the table into `⌈n / batch_size⌉` deterministic contiguous
+    /// shards: shard `s` covers rows `[s·batch_size, min((s+1)·batch_size, n))`.
+    /// Every shard is non-empty and every row lands in exactly one shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidShard`] when `batch_size` is zero or
+    /// exceeds the row count, and [`DataError::EmptyTable`] on an empty
+    /// table.
+    pub fn shard_rows(&self, batch_size: usize) -> Result<Vec<TableShard<'_>>, DataError> {
+        let n = self.n_rows();
+        if n == 0 {
+            return Err(DataError::EmptyTable);
+        }
+        if batch_size == 0 {
+            return Err(DataError::InvalidShard {
+                message: "batch size must be positive".to_owned(),
+            });
+        }
+        if batch_size > n {
+            return Err(DataError::InvalidShard {
+                message: format!("batch size {batch_size} exceeds {n} rows"),
+            });
+        }
+        Ok((0..n.div_ceil(batch_size))
+            .map(|s| TableShard {
+                table: self,
+                start: s * batch_size,
+                end: ((s + 1) * batch_size).min(n),
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> CategoricalTable {
+        let mut t = CategoricalTable::new(Schema::uniform(3, 4));
+        for i in 0..n {
+            t.push_row(&[(i % 4) as u32, ((i / 4) % 4) as u32, 0]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn shard_rows_partitions_every_row_exactly_once() {
+        let t = table(10);
+        let shards = t.shard_rows(3).unwrap();
+        assert_eq!(shards.len(), 4);
+        let mut covered = Vec::new();
+        for shard in &shards {
+            assert!(!shard.is_empty());
+            for i in 0..shard.n_rows() {
+                covered.push(shard.global_index(i));
+                assert_eq!(shard.row(i), t.row(shard.global_index(i)));
+            }
+        }
+        assert_eq!(covered, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_rows_is_deterministic() {
+        let t = table(17);
+        let a: Vec<_> = t.shard_rows(5).unwrap().iter().map(TableShard::range).collect();
+        let b: Vec<_> = t.shard_rows(5).unwrap().iter().map(TableShard::range).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.last().unwrap().len(), 2, "tail shard holds the remainder");
+    }
+
+    #[test]
+    fn batch_equal_n_yields_one_shard() {
+        let t = table(8);
+        let shards = t.shard_rows(8).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].range(), 0..8);
+        assert_eq!(shards[0].as_flat(), t.as_flat());
+    }
+
+    #[test]
+    fn zero_batch_size_errors_instead_of_panicking() {
+        let t = table(4);
+        assert!(matches!(t.shard_rows(0), Err(DataError::InvalidShard { .. })));
+    }
+
+    #[test]
+    fn oversized_batch_errors() {
+        let t = table(4);
+        assert!(matches!(t.shard_rows(5), Err(DataError::InvalidShard { .. })));
+    }
+
+    #[test]
+    fn empty_table_errors() {
+        let t = CategoricalTable::new(Schema::uniform(2, 2));
+        assert!(matches!(t.shard_rows(1), Err(DataError::EmptyTable)));
+    }
+
+    #[test]
+    fn manual_shard_validates_range() {
+        let t = table(6);
+        assert!(t.shard(2, 5).is_ok());
+        assert!(matches!(t.shard(3, 3), Err(DataError::InvalidShard { .. })));
+        assert!(matches!(t.shard(4, 7), Err(DataError::InvalidShard { .. })));
+    }
+
+    #[test]
+    fn shard_rows_iterator_matches_table_rows() {
+        let t = table(9);
+        let shards = t.shard_rows(4).unwrap();
+        let rebuilt: Vec<&[u32]> = shards.iter().flat_map(|s| s.rows()).collect();
+        assert_eq!(rebuilt, t.rows().collect::<Vec<_>>());
+    }
+}

@@ -270,8 +270,8 @@ impl GeneratorConfig {
             })
             .collect();
 
-        let class_dist = WeightedIndex::new(&self.class_weights)
-            .expect("weights validated in class_weights()");
+        let class_dist =
+            WeightedIndex::new(&self.class_weights).expect("weights validated in class_weights()");
         let sub_weights: Vec<f64> =
             (0..sub).map(|s| self.subcluster_decay.powi(s as i32)).collect();
         let sub_dist = WeightedIndex::new(&sub_weights).expect("decay weights are positive");

@@ -64,13 +64,7 @@ mod tests {
         let ds = custom("t", 300, 10, 3, 2);
         let (table, labels) = (ds.table(), ds.labels());
         let sim = |a: usize, b: usize| {
-            table
-                .row(a)
-                .iter()
-                .zip(table.row(b))
-                .filter(|(x, y)| x == y)
-                .count() as f64
-                / 10.0
+            table.row(a).iter().zip(table.row(b)).filter(|(x, y)| x == y).count() as f64 / 10.0
         };
         let mut intra = (0.0, 0usize);
         let mut inter = (0.0, 0usize);

@@ -109,8 +109,8 @@ pub const CHESS: UciProfile = UciProfile {
     d: 36,
     k_star: 2,
     cardinalities: &[
-        2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 3, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,
-        2, 2, 2, 2, 2, 2, 2,
+        2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 3, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,
+        2, 2, 2, 2, 2, 2,
     ],
     class_weights: &[0.52, 0.48],
     noise: 0.5,
@@ -221,9 +221,7 @@ pub const ALL: [&UciProfile; 8] =
 /// case-insensitively and with or without the trailing dot.
 pub fn by_abbrev(abbrev: &str) -> Option<&'static UciProfile> {
     let needle = abbrev.trim_end_matches('.').to_ascii_lowercase();
-    ALL.iter()
-        .find(|p| p.abbrev.trim_end_matches('.').to_ascii_lowercase() == needle)
-        .copied()
+    ALL.iter().find(|p| p.abbrev.trim_end_matches('.').to_ascii_lowercase() == needle).copied()
 }
 
 #[cfg(test)]

@@ -110,6 +110,34 @@ impl CategoricalTable {
         Ok(())
     }
 
+    /// Overwrites row `i` with `row` (used by bounded streaming reservoirs
+    /// that evict retained rows in place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::RowArity`] on arity mismatch and
+    /// [`DataError::CodeOutOfDomain`] if a code is neither in-domain nor
+    /// [`MISSING`](crate::MISSING).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n_rows()`.
+    pub fn replace_row(&mut self, i: usize, row: &[u32]) -> Result<(), DataError> {
+        assert!(i < self.n_rows, "row index out of bounds");
+        let d = self.schema.n_features();
+        if row.len() != d {
+            return Err(DataError::RowArity { expected: d, found: row.len() });
+        }
+        for (r, &code) in row.iter().enumerate() {
+            let m = self.schema.domain(r).cardinality();
+            if code != MISSING && code >= m {
+                return Err(DataError::CodeOutOfDomain { feature: r, code, cardinality: m });
+            }
+        }
+        self.data[i * d..(i + 1) * d].copy_from_slice(row);
+        Ok(())
+    }
+
     /// Number of data objects (the paper's `n`).
     pub fn n_rows(&self) -> usize {
         self.n_rows

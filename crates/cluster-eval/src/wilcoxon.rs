@@ -95,8 +95,7 @@ pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> WilcoxonResult {
 
     let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
     let ranks = average_ranks(&abs);
-    let w_plus: f64 =
-        ranks.iter().zip(&diffs).filter(|(_, &d)| d > 0.0).map(|(&r, _)| r).sum();
+    let w_plus: f64 = ranks.iter().zip(&diffs).filter(|(_, &d)| d > 0.0).map(|(&r, _)| r).sum();
     let total = n as f64 * (n as f64 + 1.0) / 2.0;
     let w_minus = total - w_plus;
     let statistic = w_plus.min(w_minus);

@@ -94,11 +94,7 @@ pub fn run_ablation(
 /// MCDC₁: iterative maximum-similarity partitioning with the object–cluster
 /// similarity of Section II-A and a *given* `k` — competitive learning and
 /// multi-granularity both removed.
-fn similarity_only(
-    table: &CategoricalTable,
-    k: usize,
-    seed: u64,
-) -> Result<Vec<usize>, McdcError> {
+fn similarity_only(table: &CategoricalTable, k: usize, seed: u64) -> Result<Vec<usize>, McdcError> {
     let n = table.n_rows();
     if n == 0 {
         return Err(McdcError::EmptyInput);

@@ -141,9 +141,7 @@ fn medoid_of(table: &CategoricalTable, members: &[usize]) -> usize {
         return members
             .iter()
             .copied()
-            .min_by_key(|&i| {
-                table.row(i).iter().zip(&mode).filter(|(a, b)| a != b).count()
-            })
+            .min_by_key(|&i| table.row(i).iter().zip(&mode).filter(|(a, b)| a != b).count())
             .expect("members are non-empty");
     }
     members
@@ -208,11 +206,8 @@ mod tests {
         assert!(propagated.iter().all(Option::is_some));
         // Label-efficiency: the propagated labels should agree with truth far
         // better than chance while using only `full_budget` expert queries.
-        let correct = propagated
-            .iter()
-            .zip(data.labels())
-            .filter(|(p, &t)| p.unwrap() == t)
-            .count();
+        let correct =
+            propagated.iter().zip(data.labels()).filter(|(p, &t)| p.unwrap() == t).count();
         let acc = correct as f64 / data.n_rows() as f64;
         assert!(acc > 0.6, "propagated accuracy {acc}");
         assert!(plan.full_budget() < data.n_rows() / 4, "budget should be small");

@@ -22,7 +22,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
-use crate::McdcError;
+use crate::{ExecutionPlan, McdcError};
 
 /// Row count below which the parallel paths are not worth the fork/join
 /// (the shim thread pool spawns scoped threads per call, so the crossover
@@ -117,10 +117,29 @@ impl CameBuilder {
         self
     }
 
+    /// Derives the chunked-parallel toggle from an [`ExecutionPlan`]:
+    /// [`ExecutionPlan::Serial`] forces the serial sweep, every replicated
+    /// plan enables the rayon paths. Both paths produce bit-identical
+    /// results — CAME's assignment and integer-merge updates are exact
+    /// under chunking — so unlike MGCPL the plan changes only *how* CAME
+    /// runs, never what it returns. This is the per-stage hook behind
+    /// [`McdcBuilder::execution`](crate::McdcBuilder::execution), which
+    /// configures MGCPL and CAME together.
+    pub fn execution(mut self, plan: ExecutionPlan) -> Self {
+        self.parallel = plan.is_parallel();
+        self
+    }
+
     /// Toggles the rayon-parallel assignment/update paths (on by default).
     /// Both paths produce bit-identical results; `false` forces the serial
     /// sweep, which is useful for measuring the parallel speedup and for
     /// asserting the equivalence in tests.
+    #[deprecated(
+        since = "0.1.0",
+        note = "the CAME-only switch is superseded by the unified engine: use \
+                `CameBuilder::execution` or configure the whole pipeline via \
+                `McdcBuilder::execution`"
+    )]
     pub fn parallel(mut self, on: bool) -> Self {
         self.parallel = on;
         self
@@ -684,9 +703,22 @@ mod tests {
     fn parallel_and_serial_paths_agree_on_small_input() {
         let encoding = two_granularities();
         // n < PARALLEL_MIN_ROWS falls back to serial internally, but the
-        // builder flag must not change results either way.
-        let parallel = Came::builder().parallel(true).build().fit(&encoding, 2).unwrap();
-        let serial = Came::builder().parallel(false).build().fit(&encoding, 2).unwrap();
+        // execution plan must not change results either way.
+        let parallel = Came::builder()
+            .execution(ExecutionPlan::mini_batch(4))
+            .build()
+            .fit(&encoding, 2)
+            .unwrap();
+        let serial =
+            Came::builder().execution(ExecutionPlan::Serial).build().fit(&encoding, 2).unwrap();
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parallel_switch_still_works() {
+        let via_flag = Came::builder().parallel(false).build();
+        let via_plan = Came::builder().execution(ExecutionPlan::Serial).build();
+        assert_eq!(via_flag, via_plan);
     }
 }

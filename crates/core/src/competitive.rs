@@ -55,11 +55,7 @@ impl CompetitiveLearning {
     ///
     /// Returns [`McdcError::EmptyInput`] on an empty table and
     /// [`McdcError::InvalidK`] when `k0` is zero or exceeds `n`.
-    pub fn fit(
-        &self,
-        table: &CategoricalTable,
-        k0: usize,
-    ) -> Result<CompetitiveResult, McdcError> {
+    pub fn fit(&self, table: &CategoricalTable, k0: usize) -> Result<CompetitiveResult, McdcError> {
         let n = table.n_rows();
         if n == 0 {
             return Err(McdcError::EmptyInput);
@@ -110,6 +106,10 @@ impl CompetitiveLearning {
             prefactors.resize(k, 0.0);
             scores.resize(k, 0.0);
 
+            // `total_wins` is not a plain loop counter: it starts from the
+            // previous passes' cumulative wins, so the iterator rewrite the
+            // lint wants would change the ρ denominators.
+            #[allow(clippy::explicit_counter_loop)]
             for i in 0..n {
                 let row = table.row(i);
                 // Winner by Eq. (6): argmax (1 − ρ_l) · u_l · s(x_i, C_l).

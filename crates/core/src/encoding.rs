@@ -58,10 +58,8 @@ pub fn encode_partitions(partitions: &[Vec<usize>]) -> Result<CategoricalTable, 
             data.push(labels[i] as u32);
         }
     }
-    CategoricalTable::from_flat(schema, data).map_err(|e| McdcError::InvalidConfig {
-        parameter: "partitions",
-        message: e.to_string(),
-    })
+    CategoricalTable::from_flat(schema, data)
+        .map_err(|e| McdcError::InvalidConfig { parameter: "partitions", message: e.to_string() })
 }
 
 /// Convenience: encodes an [`MgcplResult`]'s Γ directly.
@@ -95,8 +93,7 @@ mod tests {
 
     #[test]
     fn encodes_columnwise() {
-        let encoding =
-            encode_partitions(&[vec![0, 1, 0], vec![1, 1, 0]]).unwrap();
+        let encoding = encode_partitions(&[vec![0, 1, 0], vec![1, 1, 0]]).unwrap();
         assert_eq!(encoding.row(0), &[0, 1]);
         assert_eq!(encoding.row(1), &[1, 1]);
         assert_eq!(encoding.row(2), &[0, 0]);

@@ -20,6 +20,13 @@ pub enum McdcError {
         /// Human-readable constraint description.
         message: String,
     },
+    /// An [`ExecutionPlan`](crate::ExecutionPlan)'s row sharding is invalid
+    /// for the input: zero batch size, batch larger than `n`, or an
+    /// empty/overlapping/incomplete explicit shard set.
+    InvalidShards {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
 }
 
 impl fmt::Display for McdcError {
@@ -31,6 +38,9 @@ impl fmt::Display for McdcError {
             }
             McdcError::InvalidConfig { parameter, message } => {
                 write!(f, "invalid configuration for {parameter}: {message}")
+            }
+            McdcError::InvalidShards { message } => {
+                write!(f, "invalid execution shards: {message}")
             }
         }
     }

@@ -1,0 +1,317 @@
+//! The execution engine: one pluggable description of *how* a learning
+//! stage walks its rows, shared by MGCPL, CAME, and the streaming re-fit.
+//!
+//! MGCPL's award/penalty cascade (Alg. 1, Eqs. 11–13) is order-dependent
+//! and therefore inherently sequential; the standard route to scale is a
+//! mini-batch / replica-merge reformulation that trades the exact cascade
+//! for shard-local cascades reconciled once per pass. [`ExecutionPlan`]
+//! names the three interchangeable backends:
+//!
+//! * [`ExecutionPlan::Serial`] — the exact sequential cascade, bit-identical
+//!   to the original `run_stage`;
+//! * [`ExecutionPlan::MiniBatch`] — rows sharded into deterministic
+//!   contiguous batches (`shard s = rows [s·b, (s+1)·b)`); each replica runs
+//!   the SoA cohort over its shard against a frozen pass-start snapshot,
+//!   rayon-parallel, and the replicas reconcile via
+//!   [`ClusterProfile::merge`](crate::ClusterProfile::merge) plus a
+//!   shard-size-weighted δ average (ω re-derives from the merged profiles).
+//!   With `batch_size == n` there is exactly one replica, so the pass *is*
+//!   the serial cascade and labels reproduce `Serial` bit for bit;
+//! * [`ExecutionPlan::Sharded`] — the same replica-merge pass over an
+//!   explicit row partition, e.g. the locality-aware placement computed by
+//!   `mcdc-dist-sim`'s `GranularPartitioner` so replicas align with the
+//!   data's coarse-cluster structure.
+//!
+//! See `DESIGN.md` §4 for the reconciliation semantics and why serial ≡
+//! mini-batch only at `batch_size = n`.
+
+use categorical_data::CategoricalTable;
+
+use crate::McdcError;
+
+/// How a learning stage executes its per-object update loop.
+///
+/// Construct directly or via [`ExecutionPlan::mini_batch`] /
+/// [`ExecutionPlan::sharded`]; validate against a concrete row count with
+/// [`ExecutionPlan::validate`] (the fit entry points do this for you).
+///
+/// # Example
+///
+/// ```
+/// use mcdc_core::ExecutionPlan;
+///
+/// let plan = ExecutionPlan::mini_batch(512);
+/// assert!(plan.is_parallel());
+/// assert!(plan.validate(2048).is_ok());
+/// assert!(plan.validate(100).is_err()); // batch exceeds n
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum ExecutionPlan {
+    /// Exact sequential cascade — one presentation order, updates applied
+    /// online. The reference semantics; single-core.
+    #[default]
+    Serial,
+    /// Replica-merge over deterministic contiguous row batches of
+    /// `batch_size` rows (the last batch holds the remainder).
+    MiniBatch {
+        /// Rows per batch; must be in `[1, n]` at fit time. `n` reproduces
+        /// [`ExecutionPlan::Serial`] bit-exactly.
+        batch_size: usize,
+    },
+    /// Replica-merge over an explicit row partition: `shards[s]` lists the
+    /// table row indices replica `s` owns. Shards must be non-empty,
+    /// disjoint, and jointly cover every row.
+    Sharded {
+        /// Row indices per shard.
+        shards: Vec<Vec<usize>>,
+    },
+}
+
+impl ExecutionPlan {
+    /// A [`ExecutionPlan::MiniBatch`] plan with the given batch size.
+    pub fn mini_batch(batch_size: usize) -> ExecutionPlan {
+        ExecutionPlan::MiniBatch { batch_size }
+    }
+
+    /// A [`ExecutionPlan::Sharded`] plan over explicit row shards.
+    pub fn sharded(shards: Vec<Vec<usize>>) -> ExecutionPlan {
+        ExecutionPlan::Sharded { shards }
+    }
+
+    /// `true` when the plan fans work out across replicas (everything but
+    /// [`ExecutionPlan::Serial`]); drives CAME's chunked-parallel paths.
+    pub fn is_parallel(&self) -> bool {
+        !matches!(self, ExecutionPlan::Serial)
+    }
+
+    /// Checks the plan against a concrete row count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdcError::InvalidShards`] when the batch size is zero or
+    /// exceeds `n`, or when an explicit shard set is empty, has an empty
+    /// shard, repeats a row, references a row `>= n`, or fails to cover
+    /// every row.
+    pub fn validate(&self, n: usize) -> Result<(), McdcError> {
+        match self {
+            ExecutionPlan::Serial => Ok(()),
+            ExecutionPlan::MiniBatch { batch_size } => {
+                if *batch_size == 0 {
+                    return Err(McdcError::InvalidShards {
+                        message: "batch size must be positive".to_owned(),
+                    });
+                }
+                if *batch_size > n {
+                    return Err(McdcError::InvalidShards {
+                        message: format!("batch size {batch_size} exceeds {n} rows"),
+                    });
+                }
+                Ok(())
+            }
+            ExecutionPlan::Sharded { shards } => {
+                if shards.is_empty() {
+                    return Err(McdcError::InvalidShards {
+                        message: "shard set is empty".to_owned(),
+                    });
+                }
+                let mut owner = vec![false; n];
+                let mut covered = 0usize;
+                for (s, shard) in shards.iter().enumerate() {
+                    if shard.is_empty() {
+                        return Err(McdcError::InvalidShards {
+                            message: format!("shard {s} is empty"),
+                        });
+                    }
+                    for &i in shard {
+                        if i >= n {
+                            return Err(McdcError::InvalidShards {
+                                message: format!("shard {s} references row {i} >= n = {n}"),
+                            });
+                        }
+                        if owner[i] {
+                            return Err(McdcError::InvalidShards {
+                                message: format!("row {i} appears in more than one shard"),
+                            });
+                        }
+                        owner[i] = true;
+                        covered += 1;
+                    }
+                }
+                if covered != n {
+                    return Err(McdcError::InvalidShards {
+                        message: format!("shards cover {covered} of {n} rows"),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Adapts the plan to an input of `n` rows, for callers whose row count
+    /// changes between fits (e.g. the streaming re-fit reservoir):
+    /// [`Serial`](ExecutionPlan::Serial) is unchanged;
+    /// [`MiniBatch`](ExecutionPlan::MiniBatch) clamps its batch into
+    /// `[1, n]`; an explicit [`Sharded`](ExecutionPlan::Sharded) partition
+    /// only fits the table it was derived from, so for any other `n` it
+    /// degrades to a `MiniBatch` plan with at most the same replica count
+    /// (`batch = ⌈n / shards⌉`, which rounds to fewer replicas when the
+    /// division is uneven).
+    pub fn for_rows(&self, n: usize) -> ExecutionPlan {
+        match self {
+            ExecutionPlan::Serial => ExecutionPlan::Serial,
+            ExecutionPlan::MiniBatch { batch_size } => {
+                ExecutionPlan::MiniBatch { batch_size: (*batch_size).clamp(1, n.max(1)) }
+            }
+            ExecutionPlan::Sharded { shards } => {
+                if self.validate(n).is_ok() {
+                    self.clone()
+                } else {
+                    ExecutionPlan::MiniBatch { batch_size: n.div_ceil(shards.len().max(1)).max(1) }
+                }
+            }
+        }
+    }
+
+    /// The row → replica map for `table`, or `None` for the serial plan.
+    /// Mini-batch geometry comes from the table's own deterministic sharder
+    /// ([`CategoricalTable::shard_rows`] — zero-copy `TableShard` ranges);
+    /// a sharder rejection is surfaced as [`McdcError::InvalidShards`]
+    /// rather than trusted to be unreachable, so the engine stays
+    /// panic-free even if the two validators ever drift.
+    pub(crate) fn shard_map(
+        &self,
+        table: &CategoricalTable,
+    ) -> Result<Option<ShardMap>, McdcError> {
+        let n = table.n_rows();
+        match self {
+            ExecutionPlan::Serial => Ok(None),
+            ExecutionPlan::MiniBatch { batch_size } => {
+                let shards = table
+                    .shard_rows(*batch_size)
+                    .map_err(|e| McdcError::InvalidShards { message: e.to_string() })?;
+                let mut shard_of = vec![0u32; n];
+                for (s, shard) in shards.iter().enumerate() {
+                    for i in shard.range() {
+                        shard_of[i] = s as u32;
+                    }
+                }
+                Ok(Some(ShardMap { shard_of, n_shards: shards.len() }))
+            }
+            ExecutionPlan::Sharded { shards } => {
+                let mut shard_of = vec![0u32; n];
+                for (s, shard) in shards.iter().enumerate() {
+                    for &i in shard {
+                        shard_of[i] = s as u32;
+                    }
+                }
+                Ok(Some(ShardMap { shard_of, n_shards: shards.len() }))
+            }
+        }
+    }
+}
+
+/// Materialized row → replica assignment for one fit.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardMap {
+    /// Owning replica per table row.
+    pub shard_of: Vec<u32>,
+    /// Number of replicas.
+    pub n_shards: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use categorical_data::Schema;
+
+    fn table(n: usize) -> CategoricalTable {
+        let mut t = CategoricalTable::new(Schema::uniform(2, 2));
+        for i in 0..n {
+            t.push_row(&[(i % 2) as u32, 0]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn serial_always_validates() {
+        assert!(ExecutionPlan::Serial.validate(0).is_ok());
+        assert!(ExecutionPlan::Serial.validate(10).is_ok());
+        assert!(!ExecutionPlan::Serial.is_parallel());
+    }
+
+    #[test]
+    fn mini_batch_rejects_zero_and_oversized_batches() {
+        assert!(matches!(
+            ExecutionPlan::mini_batch(0).validate(10),
+            Err(McdcError::InvalidShards { .. })
+        ));
+        assert!(matches!(
+            ExecutionPlan::mini_batch(11).validate(10),
+            Err(McdcError::InvalidShards { .. })
+        ));
+        assert!(ExecutionPlan::mini_batch(10).validate(10).is_ok());
+        assert!(ExecutionPlan::mini_batch(1).validate(10).is_ok());
+    }
+
+    #[test]
+    fn mini_batch_shard_map_is_contiguous_and_complete() {
+        let map = ExecutionPlan::mini_batch(4).shard_map(&table(10)).unwrap().unwrap();
+        assert_eq!(map.n_shards, 3);
+        assert_eq!(map.shard_of, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn sharded_rejects_empty_overlapping_and_incomplete_sets() {
+        let n = 4;
+        assert!(ExecutionPlan::sharded(vec![vec![0, 2], vec![1, 3]]).validate(n).is_ok());
+        assert!(matches!(
+            ExecutionPlan::sharded(vec![]).validate(n),
+            Err(McdcError::InvalidShards { .. })
+        ));
+        assert!(matches!(
+            ExecutionPlan::sharded(vec![vec![0, 1, 2, 3], vec![]]).validate(n),
+            Err(McdcError::InvalidShards { .. })
+        ));
+        assert!(matches!(
+            ExecutionPlan::sharded(vec![vec![0, 1], vec![1, 2, 3]]).validate(n),
+            Err(McdcError::InvalidShards { .. })
+        ));
+        assert!(matches!(
+            ExecutionPlan::sharded(vec![vec![0, 1], vec![2]]).validate(n),
+            Err(McdcError::InvalidShards { .. })
+        ));
+        assert!(matches!(
+            ExecutionPlan::sharded(vec![vec![0, 1], vec![2, 4]]).validate(n),
+            Err(McdcError::InvalidShards { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_map_tracks_explicit_ownership() {
+        let plan = ExecutionPlan::sharded(vec![vec![3, 1], vec![0, 2]]);
+        plan.validate(4).unwrap();
+        let map = plan.shard_map(&table(4)).unwrap().unwrap();
+        assert_eq!(map.n_shards, 2);
+        assert_eq!(map.shard_of, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn for_rows_adapts_plans_to_new_row_counts() {
+        assert_eq!(ExecutionPlan::Serial.for_rows(7), ExecutionPlan::Serial);
+        // Oversized batches clamp instead of erroring on the next fit.
+        assert_eq!(ExecutionPlan::mini_batch(100).for_rows(30), ExecutionPlan::mini_batch(30));
+        assert_eq!(ExecutionPlan::mini_batch(10).for_rows(30), ExecutionPlan::mini_batch(10));
+        // A matching explicit partition is kept as-is…
+        let plan = ExecutionPlan::sharded(vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(plan.for_rows(4), plan);
+        // …but any other row count degrades to same-replica-count batches.
+        assert_eq!(plan.for_rows(10), ExecutionPlan::mini_batch(5));
+        assert!(plan.for_rows(10).validate(10).is_ok());
+        assert!(plan.for_rows(1).validate(1).is_ok());
+    }
+
+    #[test]
+    fn default_is_serial() {
+        assert_eq!(ExecutionPlan::default(), ExecutionPlan::Serial);
+    }
+}

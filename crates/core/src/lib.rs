@@ -39,6 +39,7 @@ mod came;
 mod competitive;
 mod encoding;
 mod error;
+mod execution;
 mod mgcpl;
 mod pipeline;
 mod profile;
@@ -52,6 +53,7 @@ pub use came::{Came, CameBuilder, CameInit, CameResult};
 pub use competitive::{CompetitiveLearning, CompetitiveResult};
 pub use encoding::{encode_mgcpl, encode_partitions};
 pub use error::McdcError;
+pub use execution::ExecutionPlan;
 pub use mgcpl::{Mgcpl, MgcplBuilder, MgcplResult};
 pub use pipeline::{Mcdc, McdcBuilder, McdcResult};
 pub use profile::{score_all, score_all_transposed, ClusterProfile};

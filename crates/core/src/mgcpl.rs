@@ -14,11 +14,15 @@ use categorical_data::CategoricalTable;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 use categorical_data::{CsrLayout, MISSING};
 
+use crate::execution::ShardMap;
 use crate::weights::feature_weights_into;
-use crate::{score_all_transposed, ClusterProfile, LearningTrace, McdcError, StageRecord};
+use crate::{
+    score_all_transposed, ClusterProfile, ExecutionPlan, LearningTrace, McdcError, StageRecord,
+};
 
 /// Configurable MGCPL learner. Construct via [`Mgcpl::builder`].
 ///
@@ -47,6 +51,7 @@ pub struct Mgcpl {
     weighted_similarity: bool,
     random_init: bool,
     seed: u64,
+    execution: ExecutionPlan,
 }
 
 /// Builder for [`Mgcpl`]; defaults follow the paper (`η = 0.03`,
@@ -60,6 +65,7 @@ pub struct MgcplBuilder {
     weighted_similarity: bool,
     random_init: bool,
     seed: u64,
+    execution: ExecutionPlan,
 }
 
 impl Default for MgcplBuilder {
@@ -72,6 +78,7 @@ impl Default for MgcplBuilder {
             weighted_similarity: true,
             random_init: true,
             seed: 0,
+            execution: ExecutionPlan::Serial,
         }
     }
 }
@@ -131,6 +138,19 @@ impl MgcplBuilder {
         self
     }
 
+    /// Selects the execution backend for the learning stage (default
+    /// [`ExecutionPlan::Serial`]). Mini-batch and sharded plans run the
+    /// replica-merge formulation: shard-local cascades against a frozen
+    /// pass-start snapshot, reconciled via profile merge and a
+    /// shard-size-weighted δ average (see `DESIGN.md` §4).
+    /// `MiniBatch { batch_size: n }` reproduces the serial labels
+    /// bit-exactly; smaller batches change semantics but stay deterministic
+    /// for a fixed seed and shard count.
+    pub fn execution(mut self, plan: ExecutionPlan) -> Self {
+        self.execution = plan;
+        self
+    }
+
     /// Validates and builds the learner.
     ///
     /// # Panics
@@ -151,6 +171,7 @@ impl MgcplBuilder {
             weighted_similarity: self.weighted_similarity,
             random_init: self.random_init,
             seed: self.seed,
+            execution: self.execution,
         }
     }
 }
@@ -308,17 +329,36 @@ impl Mgcpl {
         MgcplBuilder::default()
     }
 
+    /// The configured execution plan.
+    pub fn execution_plan(&self) -> &ExecutionPlan {
+        &self.execution
+    }
+
+    /// A copy of this learner with its execution plan adapted to an input
+    /// of `n` rows ([`ExecutionPlan::for_rows`]) — what callers that re-fit
+    /// over growing or shrinking inputs (the streaming reservoir) use to
+    /// keep a fixed-`n` plan from invalidating later fits.
+    pub fn with_execution_for(&self, n: usize) -> Mgcpl {
+        let mut adapted = self.clone();
+        adapted.execution = adapted.execution.for_rows(n);
+        adapted
+    }
+
     /// Runs multi-granular learning on `table`.
     ///
     /// # Errors
     ///
-    /// Returns [`McdcError::EmptyInput`] for an empty table and
-    /// [`McdcError::InvalidK`] if a configured `k₀` exceeds `n`.
+    /// Returns [`McdcError::EmptyInput`] for an empty table,
+    /// [`McdcError::InvalidK`] if a configured `k₀` exceeds `n`, and
+    /// [`McdcError::InvalidShards`] if the configured [`ExecutionPlan`]
+    /// does not fit `n` rows.
     pub fn fit(&self, table: &CategoricalTable) -> Result<MgcplResult, McdcError> {
         let n = table.n_rows();
         if n == 0 {
             return Err(McdcError::EmptyInput);
         }
+        self.execution.validate(n)?;
+        let shard_map = self.execution.shard_map(table)?;
         let d = table.n_features();
         let k0 = match self.initial_k {
             Some(k) => {
@@ -378,8 +418,14 @@ impl Mgcpl {
 
         for stage in 1..=self.max_stages {
             let k_before = clusters.len();
-            let inner_iterations =
-                self.run_stage(table, &global, &mut clusters, &mut assignment, &mut rng);
+            let inner_iterations = self.run_stage(
+                table,
+                &global,
+                &mut clusters,
+                &mut assignment,
+                &mut rng,
+                shard_map.as_ref(),
+            );
             let k_after = clusters.len();
 
             trace.stages.push(StageRecord { stage, k_before, k_after, inner_iterations });
@@ -403,13 +449,20 @@ impl Mgcpl {
     /// Runs competitive penalization learning until the partition fixpoint,
     /// pruning emptied clusters; returns the number of passes used.
     ///
-    /// Hot-path structure (see `DESIGN.md` §"Hot path"): per object one
-    /// [`score_all`] sweep evaluates every live cluster against the row with
-    /// the `(1 − ρ_l) · u_l` prefactor hoisted into a cached per-cluster
-    /// vector. ρ is fixed within a pass (it derives from the previous
-    /// passes' win counts), and δ — hence `u` — changes for at most the
-    /// winner and the rival per object, so only those two prefactors (and
-    /// sigmoids) are recomputed instead of `k` per object.
+    /// Each pass is split into three phases so the execution backends share
+    /// one code path (see `DESIGN.md` §4):
+    ///
+    /// 1. **snapshot** ([`snapshot_pass`](Self::snapshot_pass)) — freeze the
+    ///    pass's read-mostly state: ρ from the previous passes' win counts,
+    ///    the `(1 − ρ_l)·u_l` prefactors, and the rebuilt value-major
+    ///    scoring matrix;
+    /// 2. **apply** — the per-object award/penalty cascade. `Serial` runs
+    ///    [`apply_span`](Self::apply_span) over the whole shuffled order in
+    ///    place; replicated plans run one `apply_span` per shard on a cohort
+    ///    clone and reconcile
+    ///    ([`apply_replicated`](Self::apply_replicated));
+    /// 3. **epilogue** — prune emptied clusters, refresh ω (Eqs. 15–18),
+    ///    and fold the pass's win counts into the running ρ statistics.
     fn run_stage(
         &self,
         table: &CategoricalTable,
@@ -417,100 +470,61 @@ impl Mgcpl {
         clusters: &mut Cohort,
         assignment: &mut [Option<usize>],
         rng: &mut ChaCha8Rng,
+        shard_map: Option<&ShardMap>,
     ) -> usize {
         let n = table.n_rows();
         let d = table.n_features();
-        let eta = self.learning_rate;
         let mut passes = 0;
         // Scratch buffers reused across objects to keep the pass allocation-free.
         let mut accumulators: Vec<f64> = Vec::new();
         let mut one_minus_rho: Vec<f64> = Vec::new();
         let mut prefactors: Vec<f64> = Vec::new();
+        let mut decisions: Vec<usize> = Vec::with_capacity(n);
         let mut order: Vec<usize> = (0..n).collect();
 
         for _ in 0..self.max_inner_iterations {
             passes += 1;
-            let mut changed = false;
             // Online competitive learning presents inputs in random order so
             // sequential award/penalty cascades don't depend on storage order.
             order.shuffle(rng);
 
-            // ρ_l uses the winning counts of the previous pass (Eq. 7).
-            let total_prev: u64 = clusters.wins_prev.iter().sum();
-            clusters.wins_now.fill(0);
-            let k = clusters.len();
-            one_minus_rho.clear();
-            one_minus_rho.extend(clusters.wins_prev.iter().map(|&w| {
-                if total_prev == 0 {
-                    1.0
-                } else {
-                    1.0 - w as f64 / total_prev as f64
-                }
-            }));
-            prefactors.clear();
-            prefactors.extend(
-                one_minus_rho.iter().zip(&clusters.delta).map(|(&m, &dl)| m * sigmoid_weight(dl)),
+            let post_scale = self.snapshot_pass(
+                clusters,
+                &mut one_minus_rho,
+                &mut prefactors,
+                &mut accumulators,
+                d,
             );
-            accumulators.resize(k, 0.0);
-            // Scoring runs over the pre-combined value-major matrix
-            // (contiguous per-value columns, no gather); rebuilt here so it
-            // reflects the pass's ω and any pruning from the previous pass.
-            // The plain mean of Eq. (1) is recovered via the 1/d post-scale.
-            let use_weighted = self.weighted_similarity;
-            clusters.rebuild_value_major(use_weighted);
-            let post_scale = if use_weighted { 1.0 } else { 1.0 / d as f64 };
 
-            for &i in &order {
-                let row = table.row(i);
-                // Score every live cluster — (1 − ρ_l) · u_l · s(x_i, C_l) —
-                // and select the winner v (Eq. 6) and the rival h (Eq. 9) in
-                // the same fused sweep.
-                let (best, rival) = score_all_transposed(
-                    row,
-                    clusters.layout.offsets(),
-                    &clusters.value_major,
-                    post_scale,
+            let mut changed = match shard_map {
+                None => {
+                    let changed = self.apply_span(
+                        table,
+                        &order,
+                        clusters,
+                        assignment,
+                        &mut decisions,
+                        &one_minus_rho,
+                        &mut prefactors,
+                        &mut accumulators,
+                        post_scale,
+                    );
+                    for (&i, &c) in order.iter().zip(&decisions) {
+                        assignment[i] = Some(c);
+                    }
+                    changed
+                }
+                Some(map) => self.apply_replicated(
+                    table,
+                    &order,
+                    clusters,
+                    assignment,
+                    &one_minus_rho,
                     &prefactors,
-                    &mut accumulators,
-                );
-
-                // Assign x_i to the winner (Eq. 4 / Eq. 10).
-                let previous = assignment[i];
-                if previous != Some(best) {
-                    if let Some(p) = previous {
-                        clusters.profiles[p].remove(row);
-                        clusters.sync_value_major(p, row, use_weighted);
-                    }
-                    clusters.profiles[best].add(row);
-                    clusters.sync_value_major(best, row, use_weighted);
-                    assignment[i] = Some(best);
-                    changed = true;
-                }
-                clusters.wins_now[best] += 1;
-
-                // Award the winner (Eq. 12), penalize the rival by a step
-                // proportional to how close it came (Eq. 13). δ is clamped
-                // to [0, 1] so u stays in the sigmoid's responsive range
-                // (δ = 1 already yields u ≈ 0.993; unbounded growth would
-                // let long-time winners absorb unlimited penalties). The
-                // sigmoid (an `exp`) is only re-evaluated when δ actually
-                // moved — repeat winners sit saturated at the δ = 1 clamp,
-                // so most awards skip it.
-                let awarded = (clusters.delta[best] + eta).min(1.0);
-                if awarded != clusters.delta[best] {
-                    clusters.delta[best] = awarded;
-                    prefactors[best] = one_minus_rho[best] * sigmoid_weight(awarded);
-                }
-                if rival != usize::MAX {
-                    let rival_similarity = accumulators[rival] * post_scale;
-                    let penalized =
-                        (clusters.delta[rival] - eta * rival_similarity).max(0.0);
-                    if penalized != clusters.delta[rival] {
-                        clusters.delta[rival] = penalized;
-                        prefactors[rival] = one_minus_rho[rival] * sigmoid_weight(penalized);
-                    }
-                }
-            }
+                    post_scale,
+                    map,
+                ),
+            };
 
             // Prune clusters that lost all members. After a prune, reset the
             // survivors' competition statistics (δ, g): penalties absorbed
@@ -547,6 +561,246 @@ impl Mgcpl {
             }
         }
         passes
+    }
+
+    /// Snapshot phase: freezes the pass-start competition state. Computes
+    /// `1 − ρ_l` from the previous passes' win counts (Eq. 7), the hoisted
+    /// `(1 − ρ_l)·u_l` prefactors, resets the pass win counters, and
+    /// rebuilds the value-major scoring matrix so it reflects this pass's ω
+    /// and any pruning from the previous pass. Returns the post-scale that
+    /// recovers the Eq. (1) mean from the raw sweep sums.
+    fn snapshot_pass(
+        &self,
+        clusters: &mut Cohort,
+        one_minus_rho: &mut Vec<f64>,
+        prefactors: &mut Vec<f64>,
+        accumulators: &mut Vec<f64>,
+        d: usize,
+    ) -> f64 {
+        let total_prev: u64 = clusters.wins_prev.iter().sum();
+        clusters.wins_now.fill(0);
+        let k = clusters.len();
+        one_minus_rho.clear();
+        one_minus_rho.extend(clusters.wins_prev.iter().map(|&w| {
+            if total_prev == 0 {
+                1.0
+            } else {
+                1.0 - w as f64 / total_prev as f64
+            }
+        }));
+        prefactors.clear();
+        prefactors.extend(
+            one_minus_rho.iter().zip(&clusters.delta).map(|(&m, &dl)| m * sigmoid_weight(dl)),
+        );
+        accumulators.resize(k, 0.0);
+        let use_weighted = self.weighted_similarity;
+        clusters.rebuild_value_major(use_weighted);
+        if use_weighted {
+            1.0
+        } else {
+            1.0 / d as f64
+        }
+    }
+
+    /// Apply phase over one presentation span: the per-object award/penalty
+    /// cascade of Alg. 1, updating `clusters` and the hoisted `prefactors`
+    /// in place and pushing each presented row's winner onto `decisions`
+    /// (in presentation order — `decisions[t]` is the verdict for
+    /// `order[t]`). Returns whether any membership changed.
+    ///
+    /// Assignments are *read* from the frozen `prior` snapshot rather than
+    /// written back live: every row is presented exactly once per pass, so
+    /// its prior assignment is never re-read after its own verdict, and
+    /// deferring the write-back to the caller lets replicas share one
+    /// read-only snapshot instead of cloning the whole vector.
+    ///
+    /// Hot-path structure (see `DESIGN.md` §"Hot path"): per object one
+    /// [`score_all_transposed`] sweep evaluates every live cluster against
+    /// the row with the `(1 − ρ_l) · u_l` prefactor hoisted into a cached
+    /// per-cluster vector. ρ is fixed within a pass (it derives from the
+    /// previous passes' win counts), and δ — hence `u` — changes for at
+    /// most the winner and the rival per object, so only those two
+    /// prefactors (and sigmoids) are recomputed instead of `k` per object.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_span(
+        &self,
+        table: &CategoricalTable,
+        order: &[usize],
+        clusters: &mut Cohort,
+        prior: &[Option<usize>],
+        decisions: &mut Vec<usize>,
+        one_minus_rho: &[f64],
+        prefactors: &mut [f64],
+        accumulators: &mut [f64],
+        post_scale: f64,
+    ) -> bool {
+        let eta = self.learning_rate;
+        let use_weighted = self.weighted_similarity;
+        let mut changed = false;
+        decisions.clear();
+        for &i in order {
+            let row = table.row(i);
+            // Score every live cluster — (1 − ρ_l) · u_l · s(x_i, C_l) —
+            // and select the winner v (Eq. 6) and the rival h (Eq. 9) in
+            // the same fused sweep.
+            let (best, rival) = score_all_transposed(
+                row,
+                clusters.layout.offsets(),
+                &clusters.value_major,
+                post_scale,
+                prefactors,
+                accumulators,
+            );
+
+            // Assign x_i to the winner (Eq. 4 / Eq. 10).
+            let previous = prior[i];
+            if previous != Some(best) {
+                if let Some(p) = previous {
+                    clusters.profiles[p].remove(row);
+                    clusters.sync_value_major(p, row, use_weighted);
+                }
+                clusters.profiles[best].add(row);
+                clusters.sync_value_major(best, row, use_weighted);
+                changed = true;
+            }
+            decisions.push(best);
+            clusters.wins_now[best] += 1;
+
+            // Award the winner (Eq. 12), penalize the rival by a step
+            // proportional to how close it came (Eq. 13). δ is clamped
+            // to [0, 1] so u stays in the sigmoid's responsive range
+            // (δ = 1 already yields u ≈ 0.993; unbounded growth would
+            // let long-time winners absorb unlimited penalties). The
+            // sigmoid (an `exp`) is only re-evaluated when δ actually
+            // moved — repeat winners sit saturated at the δ = 1 clamp,
+            // so most awards skip it.
+            let awarded = (clusters.delta[best] + eta).min(1.0);
+            if awarded != clusters.delta[best] {
+                clusters.delta[best] = awarded;
+                prefactors[best] = one_minus_rho[best] * sigmoid_weight(awarded);
+            }
+            if rival != usize::MAX {
+                let rival_similarity = accumulators[rival] * post_scale;
+                let penalized = (clusters.delta[rival] - eta * rival_similarity).max(0.0);
+                if penalized != clusters.delta[rival] {
+                    clusters.delta[rival] = penalized;
+                    prefactors[rival] = one_minus_rho[rival] * sigmoid_weight(penalized);
+                }
+            }
+        }
+        changed
+    }
+
+    /// Replica-merge apply phase: one [`apply_span`](Self::apply_span) per
+    /// shard against a frozen clone of the pass-start cohort, rayon-parallel
+    /// across shards, reconciled into `clusters`:
+    ///
+    /// * **profiles** — each replica rebuilds per-cluster profiles over its
+    ///   own shard rows from its final local assignment; the global profile
+    ///   is the [`ClusterProfile::merge`] across replicas. Every row lives
+    ///   in exactly one shard, so the merged integer counts are exact;
+    /// * **δ** — shard-size-weighted average of the replica accumulators
+    ///   (one replica ⇒ weight `1.0` ⇒ bit-exact with serial);
+    /// * **wins** — integer sums;
+    /// * **ω** — not reconciled here: the epilogue re-derives it from the
+    ///   merged profiles, which is the deterministic consensus.
+    ///
+    /// The presentation order inside each shard is the global per-pass
+    /// shuffle filtered to that shard, so a one-shard plan degenerates to
+    /// the serial order and results are deterministic for a fixed seed and
+    /// shard count.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_replicated(
+        &self,
+        table: &CategoricalTable,
+        order: &[usize],
+        clusters: &mut Cohort,
+        assignment: &mut [Option<usize>],
+        one_minus_rho: &[f64],
+        prefactors: &[f64],
+        post_scale: f64,
+        map: &ShardMap,
+    ) -> bool {
+        let k = clusters.len();
+        let mut shard_orders: Vec<Vec<usize>> = vec![Vec::new(); map.n_shards];
+        for &i in order {
+            shard_orders[map.shard_of[i] as usize].push(i);
+        }
+
+        struct Replica {
+            rows: Vec<usize>,
+            changed: bool,
+            delta: Vec<f64>,
+            wins: Vec<u64>,
+            /// Winner per presented row, parallel to `rows`.
+            decisions: Vec<usize>,
+            profiles: Vec<ClusterProfile>,
+        }
+
+        let snapshot: &Cohort = clusters;
+        let frozen_assignment: &[Option<usize>] = assignment;
+        let replicas: Vec<Replica> = shard_orders
+            .into_par_iter()
+            .map(|rows| {
+                let mut local = snapshot.clone();
+                let mut local_prefactors = prefactors.to_vec();
+                let mut accumulators = vec![0.0; k];
+                let mut decisions = Vec::with_capacity(rows.len());
+                let changed = self.apply_span(
+                    table,
+                    &rows,
+                    &mut local,
+                    frozen_assignment,
+                    &mut decisions,
+                    one_minus_rho,
+                    &mut local_prefactors,
+                    &mut accumulators,
+                    post_scale,
+                );
+                // Shard-restricted per-cluster profiles for the merge, bulk
+                // built (deferred rescale) from the final local decisions.
+                let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+                for (&i, &c) in rows.iter().zip(&decisions) {
+                    members[c].push(i);
+                }
+                let profiles = members
+                    .iter()
+                    .map(|m| {
+                        let mut p = ClusterProfile::with_layout(snapshot.layout.clone());
+                        p.extend_rows(m.iter().map(|&i| table.row(i)));
+                        p
+                    })
+                    .collect();
+                Replica {
+                    rows,
+                    changed,
+                    delta: local.delta,
+                    wins: local.wins_now,
+                    decisions,
+                    profiles,
+                }
+            })
+            .collect();
+
+        let n = order.len() as f64;
+        let mut changed = false;
+        let mut merged: Vec<ClusterProfile> =
+            (0..k).map(|_| ClusterProfile::with_layout(clusters.layout.clone())).collect();
+        clusters.delta.fill(0.0);
+        for replica in &replicas {
+            changed |= replica.changed;
+            let weight = replica.rows.len() as f64 / n;
+            for l in 0..k {
+                merged[l].merge(&replica.profiles[l]);
+                clusters.delta[l] += weight * replica.delta[l];
+                clusters.wins_now[l] += replica.wins[l];
+            }
+            for (&i, &c) in replica.rows.iter().zip(&replica.decisions) {
+                assignment[i] = Some(c);
+            }
+        }
+        clusters.profiles = merged;
+        changed
     }
 }
 

@@ -3,7 +3,9 @@
 
 use categorical_data::CategoricalTable;
 
-use crate::{encode_mgcpl, Came, CameInit, CameResult, McdcError, Mgcpl, MgcplResult};
+use crate::{
+    encode_mgcpl, Came, CameInit, CameResult, ExecutionPlan, McdcError, Mgcpl, MgcplResult,
+};
 
 /// The full MCDC clusterer. Construct via [`Mcdc::builder`].
 ///
@@ -37,6 +39,7 @@ pub struct McdcBuilder {
     weighted_similarity: Option<bool>,
     came_weighted: Option<bool>,
     came_init: Option<CameInit>,
+    execution: Option<ExecutionPlan>,
     seed: u64,
 }
 
@@ -71,6 +74,18 @@ impl McdcBuilder {
         self
     }
 
+    /// Selects the execution backend for *both* stages — the one
+    /// parallelism knob of the pipeline. MGCPL runs the plan's replica-merge
+    /// formulation (semantics documented in `DESIGN.md` §4); CAME derives
+    /// its chunked-parallel toggle from the same plan (its parallel paths
+    /// are exact, so only MGCPL's semantics depend on the choice). Default
+    /// [`ExecutionPlan::Serial`]. Supersedes the deprecated CAME-only
+    /// `CameBuilder::parallel` switch.
+    pub fn execution(mut self, plan: ExecutionPlan) -> Self {
+        self.execution = Some(plan);
+        self
+    }
+
     /// Seeds all randomized choices.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -99,6 +114,10 @@ impl McdcBuilder {
         }
         if let Some(init) = self.came_init {
             came = came.init(init);
+        }
+        if let Some(plan) = self.execution {
+            came = came.execution(plan.clone());
+            mgcpl = mgcpl.execution(plan);
         }
         Mcdc { mgcpl: mgcpl.build(), came: came.build() }
     }

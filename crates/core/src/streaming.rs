@@ -7,10 +7,24 @@
 //! and a *drift trigger* re-runs full MGCPL when the fraction of poorly
 //! matched arrivals exceeds a threshold — the cheap path keeps latency flat,
 //! the re-fit keeps the granularities honest under distribution change.
+//!
+//! Memory stays bounded on unbounded streams: rows retained for re-fitting
+//! live in a fixed-capacity reservoir (Vitter's algorithm R — each arrival
+//! past capacity evicts a uniformly chosen retained row with probability
+//! `capacity / n_seen`, so the reservoir is always a uniform sample of the
+//! stream so far). The re-fit itself runs through the learner's configured
+//! [`ExecutionPlan`](crate::ExecutionPlan), so a mini-batch plan
+//! parallelizes the re-fit exactly like a batch fit.
 
 use categorical_data::CategoricalTable;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::{ClusterProfile, McdcError, Mgcpl, MgcplResult};
+
+/// Default bound on the re-fit reservoir (rows).
+const DEFAULT_BUFFER_CAPACITY: usize = 4096;
 
 /// Online multi-granular clusterer over a stream of categorical objects.
 ///
@@ -47,8 +61,12 @@ pub struct StreamingMcdc {
     drifted: usize,
     /// All arrivals since the last re-fit.
     arrived: usize,
-    /// Rows retained for re-fitting (bounded reservoir).
+    /// Rows retained for re-fitting (bounded reservoir, algorithm R).
     buffer: CategoricalTable,
+    /// Maximum rows the reservoir retains.
+    buffer_capacity: usize,
+    /// Drives the reservoir's eviction choices (deterministic stream).
+    reservoir_rng: ChaCha8Rng,
     n_seen: usize,
     /// Summary of the most recent [`StreamingMcdc::refit`].
     last_refit: MgcplResultSummary,
@@ -73,6 +91,10 @@ impl StreamingMcdc {
             drifted: 0,
             arrived: 0,
             buffer: batch.clone(),
+            buffer_capacity: DEFAULT_BUFFER_CAPACITY.max(batch.n_rows()),
+            // Fixed stream: the reservoir's evictions are deterministic, so
+            // replaying the same arrivals reproduces the same re-fit data.
+            reservoir_rng: ChaCha8Rng::seed_from_u64(0x9E37_79B9_7F4A_7C15),
             n_seen: batch.n_rows(),
             last_refit,
         })
@@ -88,6 +110,34 @@ impl StreamingMcdc {
         assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
         self.drift_threshold = threshold;
         self
+    }
+
+    /// Bounds the re-fit reservoir to `capacity` rows (default 4096, or the
+    /// bootstrap batch size when that is larger). Once full, arrivals
+    /// displace uniformly chosen retained rows (algorithm R), keeping the
+    /// reservoir a uniform sample of the whole stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is smaller than the rows already retained.
+    pub fn with_buffer_capacity(mut self, capacity: usize) -> Self {
+        assert!(
+            capacity >= self.buffer.n_rows(),
+            "capacity {capacity} is below the {} rows already retained",
+            self.buffer.n_rows()
+        );
+        self.buffer_capacity = capacity;
+        self
+    }
+
+    /// Number of rows currently retained for re-fitting.
+    pub fn buffered_rows(&self) -> usize {
+        self.buffer.n_rows()
+    }
+
+    /// The reservoir bound configured for this stream.
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer_capacity
     }
 
     /// Number of granularity levels currently maintained.
@@ -136,8 +186,17 @@ impl StreamingMcdc {
             labels.push(best);
             best_similarity = best_similarity.max(similarity);
         }
-        self.buffer.push_row(row).expect("arity checked above");
         self.n_seen += 1;
+        if self.buffer.n_rows() < self.buffer_capacity {
+            self.buffer.push_row(row).expect("arity checked above");
+        } else {
+            // Algorithm R: the t-th object seen enters the full reservoir
+            // with probability `retained / t`, displacing a uniform pick.
+            let j = self.reservoir_rng.gen_range(0..self.n_seen);
+            if j < self.buffer.n_rows() {
+                self.buffer.replace_row(j, row).expect("arity checked above");
+            }
+        }
         self.arrived += 1;
         if best_similarity < self.drift_threshold {
             self.drifted += 1;
@@ -151,18 +210,27 @@ impl StreamingMcdc {
         self.arrived >= 32 && self.drift_ratio() > 0.25
     }
 
-    /// Re-runs full MGCPL over everything seen so far, rebuilding the
-    /// granularities; resets the drift statistics.
+    /// Re-runs full MGCPL over the retained reservoir (a uniform sample of
+    /// everything seen so far, bounded by
+    /// [`buffer_capacity`](Self::buffer_capacity)), rebuilding the
+    /// granularities; resets the drift statistics. The fit runs through the
+    /// learner's configured [`ExecutionPlan`](crate::ExecutionPlan),
+    /// adapted to the reservoir's current row count
+    /// ([`ExecutionPlan::for_rows`](crate::ExecutionPlan::for_rows)) — a
+    /// plan sized for the bootstrap batch (an explicit `Sharded` partition,
+    /// or a `MiniBatch` larger than the reservoir) would otherwise
+    /// invalidate every re-fit once the stream grows past it.
     ///
     /// # Errors
     ///
     /// Propagates [`McdcError`] from the underlying MGCPL fit.
     pub fn refit(&mut self) -> Result<&MgcplResultSummary, McdcError> {
-        let result = self.mgcpl.fit(&self.buffer)?;
+        let result = self.mgcpl.with_execution_for(self.buffer.n_rows()).fit(&self.buffer)?;
         self.granularities = build_profiles(&self.buffer, &result);
         self.drifted = 0;
         self.arrived = 0;
-        self.last_refit = MgcplResultSummary { kappa: result.kappa, sigma: result.partitions.len() };
+        self.last_refit =
+            MgcplResultSummary { kappa: result.kappa, sigma: result.partitions.len() };
         Ok(&self.last_refit)
     }
 }
@@ -182,12 +250,13 @@ fn build_profiles(table: &CategoricalTable, result: &MgcplResult) -> Vec<Vec<Clu
         .iter()
         .zip(&result.kappa)
         .map(|(partition, &k)| {
-            let mut profiles: Vec<ClusterProfile> =
-                (0..k).map(|_| ClusterProfile::new(table.schema())).collect();
+            // Bulk profile construction: group members first, then one
+            // deferred-rescale build per cluster (see ClusterProfile::extend_rows).
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
             for (i, &l) in partition.iter().enumerate() {
-                profiles[l].add(table.row(i));
+                members[l].push(i);
             }
-            profiles
+            members.iter().map(|m| ClusterProfile::from_members(table, m)).collect()
         })
         .collect()
 }
@@ -204,8 +273,8 @@ mod tests {
     #[test]
     fn bootstrap_installs_granularities() {
         let data = batch(1);
-        let stream = StreamingMcdc::bootstrap(Mgcpl::builder().seed(1).build(), data.table())
-            .unwrap();
+        let stream =
+            StreamingMcdc::bootstrap(Mgcpl::builder().seed(1).build(), data.table()).unwrap();
         assert!(stream.sigma() >= 1);
         assert_eq!(stream.n_seen(), 300);
         assert!(stream.kappa().iter().all(|&k| k >= 1));
@@ -255,6 +324,117 @@ mod tests {
         assert_eq!(summary.sigma, stream.sigma());
         assert_eq!(stream.drift_ratio(), 0.0);
         assert_eq!(stream.n_seen(), 350);
+    }
+
+    #[test]
+    fn reservoir_stays_bounded_under_long_adversarial_stream() {
+        let data = batch(6);
+        let mut stream = StreamingMcdc::bootstrap(Mgcpl::builder().seed(1).build(), data.table())
+            .unwrap()
+            .with_buffer_capacity(512);
+        assert_eq!(stream.buffer_capacity(), 512);
+        // A long stream that keeps missing the learned clusters: every row
+        // sits in a value region the bootstrap never occupied densely, so
+        // the drift counter keeps climbing while the reservoir must not.
+        for t in 0..5_000u32 {
+            let v = 3 - (t % 2); // alternate 3s and 2s, off-mode
+            stream.absorb(&[v, 3, v, 3, v, 3, v, 3]);
+        }
+        assert_eq!(stream.n_seen(), 5_300);
+        assert!(
+            stream.buffered_rows() <= 512,
+            "reservoir exceeded its bound: {} rows",
+            stream.buffered_rows()
+        );
+        // The reservoir keeps refits well-posed after heavy eviction.
+        assert!(stream.refit().is_ok());
+        assert!(stream.buffered_rows() <= 512);
+    }
+
+    #[test]
+    fn default_capacity_bounds_the_buffer() {
+        let data = batch(7);
+        let mut stream =
+            StreamingMcdc::bootstrap(Mgcpl::builder().seed(1).build(), data.table()).unwrap();
+        for _ in 0..6_000 {
+            stream.absorb(&[3, 3, 3, 3, 3, 3, 3, 3]);
+        }
+        assert!(stream.buffered_rows() <= 4096, "rows={}", stream.buffered_rows());
+    }
+
+    #[test]
+    fn absorb_after_refit_uses_refreshed_profiles() {
+        let data = batch(8);
+        let mut stream = StreamingMcdc::bootstrap(Mgcpl::builder().seed(1).build(), data.table())
+            .unwrap()
+            .with_drift_threshold(0.5);
+        // Flood the stream with a novel, tightly repeated distribution the
+        // bootstrap clusters match poorly.
+        let novel = [3u32, 3, 3, 3, 3, 3, 3, 3];
+        for _ in 0..600 {
+            stream.absorb(&novel);
+        }
+        let drift_before = stream.drift_ratio();
+        stream.refit().unwrap();
+        // The reservoir is now dominated by the novel rows, so the re-fitted
+        // granularities contain a cluster whose profile matches them almost
+        // exactly: absorbing another novel row must not register drift.
+        stream.absorb(&novel);
+        assert_eq!(
+            stream.drift_ratio(),
+            0.0,
+            "refreshed profiles must absorb the novel distribution cleanly \
+             (drift before refit was {drift_before})"
+        );
+        // And the absorb updated the refreshed profiles, not stale ones:
+        // the nearest cluster at every granularity now contains the row.
+        let labels = stream.absorb(&novel);
+        assert_eq!(labels.len(), stream.sigma());
+    }
+
+    #[test]
+    fn refit_runs_through_the_configured_execution_plan() {
+        use crate::ExecutionPlan;
+        let data = batch(9);
+        // A mini-batch plan is n-agnostic, so the engine follows the
+        // reservoir's changing row count across refits.
+        let mgcpl = Mgcpl::builder().seed(1).execution(ExecutionPlan::mini_batch(128)).build();
+        let mut stream = StreamingMcdc::bootstrap(mgcpl, data.table()).unwrap();
+        for i in 0..200 {
+            stream.absorb(data.table().row(i % 300));
+        }
+        let summary = stream.refit().unwrap();
+        assert!(summary.sigma >= 1);
+        assert!(stream.kappa().iter().all(|&k| k >= 1));
+    }
+
+    #[test]
+    fn fixed_n_plans_adapt_across_refits() {
+        use crate::ExecutionPlan;
+        let data = batch(10);
+        // Plans derived for the bootstrap table (an explicit 2-shard
+        // partition of its 300 rows; a batch larger than the reservoir will
+        // ever shrink to) must not wedge the stream: refit adapts them to
+        // the reservoir's current row count instead of erroring forever.
+        let plans = [
+            ExecutionPlan::sharded(vec![(0..150).collect(), (150..300).collect()]),
+            ExecutionPlan::mini_batch(300),
+        ];
+        for plan in plans {
+            let mgcpl = Mgcpl::builder().seed(1).execution(plan).build();
+            let mut stream = StreamingMcdc::bootstrap(mgcpl, data.table()).unwrap();
+            for i in 0..100 {
+                stream.absorb(data.table().row(i));
+            }
+            // 400 rows retained now; the bootstrap-sized plan no longer fits.
+            let summary = stream.refit().expect("refit adapts the plan to the reservoir");
+            assert!(summary.sigma >= 1);
+            // And refitting again after more growth keeps working.
+            for i in 0..50 {
+                stream.absorb(data.table().row(i));
+            }
+            assert!(stream.refit().is_ok());
+        }
     }
 
     #[test]

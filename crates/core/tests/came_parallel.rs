@@ -4,7 +4,7 @@
 //! the whole result — identical to the serial sweep.
 
 use categorical_data::synth::GeneratorConfig;
-use mcdc_core::{encode_partitions, Came, CameInit};
+use mcdc_core::{encode_partitions, Came, CameInit, ExecutionPlan};
 
 #[test]
 fn parallel_assignment_matches_serial_on_10k_rows() {
@@ -12,17 +12,20 @@ fn parallel_assignment_matches_serial_on_10k_rows() {
     // fine (6 sub-clusters) labels form a two-granularity Γ encoding, the
     // same shape MGCPL hands CAME. 10k rows is past the parallel gate, so
     // the chunked code paths genuinely run.
-    let out = GeneratorConfig::new("par", 10_000, vec![4; 8], 3)
-        .subclusters(2)
-        .noise(0.1)
-        .generate(17);
+    let out =
+        GeneratorConfig::new("par", 10_000, vec![4; 8], 3).subclusters(2).noise(0.1).generate(17);
     let fine = out.fine_labels.clone();
     let coarse = out.dataset.labels().to_vec();
     let encoding = encode_partitions(&[fine, coarse]).expect("valid partitions");
 
     for k in [2usize, 3, 5] {
-        let parallel = Came::builder().parallel(true).build().fit(&encoding, k).unwrap();
-        let serial = Came::builder().parallel(false).build().fit(&encoding, k).unwrap();
+        let parallel = Came::builder()
+            .execution(ExecutionPlan::mini_batch(2_500))
+            .build()
+            .fit(&encoding, k)
+            .unwrap();
+        let serial =
+            Came::builder().execution(ExecutionPlan::Serial).build().fit(&encoding, k).unwrap();
         assert_eq!(parallel.labels(), serial.labels(), "labels diverged at k={k}");
         assert_eq!(parallel, serial, "full results diverged at k={k}");
     }
@@ -30,22 +33,20 @@ fn parallel_assignment_matches_serial_on_10k_rows() {
 
 #[test]
 fn parallel_random_init_also_matches_serial() {
-    let out = GeneratorConfig::new("par", 9_000, vec![3; 6], 2)
-        .subclusters(3)
-        .noise(0.15)
-        .generate(23);
+    let out =
+        GeneratorConfig::new("par", 9_000, vec![3; 6], 2).subclusters(3).noise(0.15).generate(23);
     let fine = out.fine_labels.clone();
     let coarse = out.dataset.labels().to_vec();
     let encoding = encode_partitions(&[fine, coarse]).expect("valid partitions");
 
-    let build = |parallel: bool| {
+    let build = |plan: ExecutionPlan| {
         Came::builder()
             .init(CameInit::RandomObjects)
             .seed(5)
-            .parallel(parallel)
+            .execution(plan)
             .build()
             .fit(&encoding, 4)
             .unwrap()
     };
-    assert_eq!(build(true), build(false));
+    assert_eq!(build(ExecutionPlan::mini_batch(1_000)), build(ExecutionPlan::Serial));
 }

@@ -7,12 +7,10 @@ use proptest::prelude::*;
 
 fn arbitrary_table() -> impl Strategy<Value = CategoricalTable> {
     (10usize..80, 2usize..6).prop_flat_map(|(n, d)| {
-        proptest::collection::vec(proptest::collection::vec(0u32..4, d), n).prop_map(
-            move |rows| {
-                CategoricalTable::from_rows(Schema::uniform(d, 4), rows.iter().map(Vec::as_slice))
-                    .expect("rows are schema-valid")
-            },
-        )
+        proptest::collection::vec(proptest::collection::vec(0u32..4, d), n).prop_map(move |rows| {
+            CategoricalTable::from_rows(Schema::uniform(d, 4), rows.iter().map(Vec::as_slice))
+                .expect("rows are schema-valid")
+        })
     })
 }
 

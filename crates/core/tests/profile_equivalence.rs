@@ -6,6 +6,10 @@
 //! multiplies by cached reciprocals instead of dividing, which may differ
 //! in the last ulp) and exact on counts, modes, and presence.
 
+// As in mcdc-core itself: the loops walk one index across several parallel
+// structures, and the iterator rewrite would obscure the access pattern.
+#![allow(clippy::needless_range_loop)]
+
 use categorical_data::{Schema, MISSING};
 use mcdc_core::ClusterProfile;
 use rand::{Rng, SeedableRng};

@@ -121,10 +121,7 @@ impl NodeGroups {
     pub fn best_group_for(&self, requirements: &[(usize, u32)]) -> Option<&NodeGroup> {
         self.groups.iter().max_by(|a, b| {
             let score = |g: &NodeGroup| {
-                requirements
-                    .iter()
-                    .filter(|&&(r, v)| g.profile.get(r) == Some(&v))
-                    .count()
+                requirements.iter().filter(|&&(r, v)| g.profile.get(r) == Some(&v)).count()
             };
             score(a).cmp(&score(b)).then(a.members.len().cmp(&b.members.len()))
         })
@@ -135,8 +132,7 @@ fn modal_profile(catalog: &CategoricalTable, members: &[usize]) -> Vec<u32> {
     let d = catalog.n_features();
     (0..d)
         .map(|r| {
-            let mut counts =
-                vec![0usize; catalog.schema().domain(r).cardinality() as usize];
+            let mut counts = vec![0usize; catalog.schema().domain(r).cardinality() as usize];
             for &i in members {
                 let v = catalog.value(i, r);
                 if v != MISSING {

@@ -16,6 +16,12 @@
 //! A deterministic virtual-time execution model ([`SimulatedCluster`]) plus a
 //! real thread-pool executor validate that locality-preserving placements
 //! reduce cross-worker traffic without hurting the parallel makespan.
+//!
+//! The workload-adapter functions ground the simulation in real shards:
+//! [`workload_from_table`] derives per-object costs from the actual scoring
+//! work of a table, and [`execution_plan_from_placement`] turns a placement
+//! into the `ExecutionPlan::Sharded` row partition that `mcdc-core`'s
+//! replica-merge engine executes directly.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,7 +33,12 @@
 mod executor;
 mod grouping;
 mod partition;
+mod workload;
 
 pub use executor::{ExecutionStats, SimulatedCluster, WorkItem};
 pub use grouping::{NodeGroup, NodeGrouper, NodeGroups};
 pub use partition::{round_robin, GranularPartitioner, Placement, PlacementReport};
+pub use workload::{
+    execution_plan_from_placement, shards_from_placement, simulate_real_workload,
+    workload_from_table,
+};

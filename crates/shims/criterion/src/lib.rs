@@ -179,7 +179,9 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     let mut bencher = Bencher { sample_size, median_nanos: 0.0, mean_nanos: 0.0 };
     f(&mut bencher);
     let rate = throughput.map(|t| match t {
-        Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 * 1e9 / bencher.median_nanos),
+        Throughput::Elements(n) => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / bencher.median_nanos)
+        }
         Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 * 1e9 / bencher.median_nanos),
     });
     println!(

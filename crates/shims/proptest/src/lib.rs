@@ -222,12 +222,7 @@ pub mod strategy {
     impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
         type Value = (A::Value, B::Value, C::Value, D::Value);
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            (
-                self.0.generate(rng),
-                self.1.generate(rng),
-                self.2.generate(rng),
-                self.3.generate(rng),
-            )
+            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng), self.3.generate(rng))
         }
     }
 }
@@ -314,9 +309,7 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return Err($crate::test_runner::TestCaseError::Reject(
-                stringify!($cond).to_owned(),
-            ));
+            return Err($crate::test_runner::TestCaseError::Reject(stringify!($cond).to_owned()));
         }
     };
 }

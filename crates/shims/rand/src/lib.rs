@@ -256,7 +256,7 @@ mod tests {
     #[test]
     fn weighted_index_respects_weights() {
         let mut rng = Counter(3);
-        let dist = WeightedIndex::new(&[9.0, 1.0]).unwrap();
+        let dist = WeightedIndex::new([9.0, 1.0]).unwrap();
         let zeros = (0..2000).filter(|_| dist.sample(&mut rng) == 0).count();
         assert!(zeros > 1500, "zeros={zeros}");
     }
@@ -264,7 +264,7 @@ mod tests {
     #[test]
     fn weighted_index_rejects_bad_weights() {
         assert!(WeightedIndex::new(core::iter::empty::<f64>()).is_err());
-        assert!(WeightedIndex::new(&[0.0, 0.0]).is_err());
-        assert!(WeightedIndex::new(&[-1.0, 2.0]).is_err());
+        assert!(WeightedIndex::new([0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new([-1.0, 2.0]).is_err());
     }
 }

@@ -111,7 +111,7 @@ where
         ID: Fn() -> U,
         OP: Fn(U, U) -> U,
     {
-        par_map_vec(self.items, self.f).into_iter().fold(identity(), |a, b| op(a, b))
+        par_map_vec(self.items, self.f).into_iter().fold(identity(), op)
     }
 
     /// Executes the map in parallel and sums the results.
@@ -211,10 +211,8 @@ mod tests {
     #[test]
     fn par_chunks_covers_slice_in_order() {
         let data: Vec<u32> = (0..103).collect();
-        let sums: Vec<u64> = data
-            .par_chunks(10)
-            .map(|c| c.iter().map(|&x| x as u64).sum())
-            .collect();
+        let sums: Vec<u64> =
+            data.par_chunks(10).map(|c| c.iter().map(|&x| x as u64).sum()).collect();
         assert_eq!(sums.len(), 11);
         assert_eq!(sums.iter().sum::<u64>(), (0..103u64).sum());
     }

@@ -63,11 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.locality,
         report.split_micro_clusters
     );
-    let items: Vec<WorkItem> = granular
-        .coarsest()
-        .iter()
-        .map(|&c| WorkItem { cost: 1, coarse_cluster: c })
-        .collect();
+    let items: Vec<WorkItem> =
+        granular.coarsest().iter().map(|&c| WorkItem { cost: 1, coarse_cluster: c }).collect();
     let stats = SimulatedCluster::new().run(&placement, &items);
     println!(
         "virtual makespan {} ticks, cross-worker messages {}",

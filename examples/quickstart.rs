@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .noise(0.1)
         .generate(42)
         .dataset;
-    println!("data: {} objects x {} features, k* = {}", data.n_rows(), data.n_features(), data.k_true());
+    println!(
+        "data: {} objects x {} features, k* = {}",
+        data.n_rows(),
+        data.n_features(),
+        data.k_true()
+    );
 
     // 2. Fit MCDC (MGCPL multi-granular learning + CAME aggregation).
     let mcdc = Mcdc::builder().seed(7).build();

@@ -9,10 +9,8 @@ use mcdc::data::synth::GeneratorConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Phase 1: the initial regime — 3 classes.
-    let initial = GeneratorConfig::new("regime-a", 600, vec![4; 8], 3)
-        .noise(0.08)
-        .generate(1)
-        .dataset;
+    let initial =
+        GeneratorConfig::new("regime-a", 600, vec![4; 8], 3).noise(0.08).generate(1).dataset;
     let mut stream = StreamingMcdc::bootstrap(Mgcpl::builder().seed(1).build(), initial.table())?
         .with_drift_threshold(0.35);
     println!("bootstrap: kappa = {:?}, {} objects", stream.kappa(), stream.n_seen());

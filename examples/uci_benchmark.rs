@@ -13,17 +13,12 @@ use mcdc::eval::{accuracy, adjusted_mutual_information, adjusted_rand_index, fow
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let abbrev = std::env::args().nth(1).unwrap_or_else(|| "Vot.".to_owned());
-    let profile = uci::by_abbrev(&abbrev)
-        .unwrap_or_else(|| panic!("unknown data set {abbrev:?}; try Car. Con. Che. Mus. Tic. Vot. Bal. Nur."));
+    let profile = uci::by_abbrev(&abbrev).unwrap_or_else(|| {
+        panic!("unknown data set {abbrev:?}; try Car. Con. Che. Mus. Tic. Vot. Bal. Nur.")
+    });
     let data = profile.generate_dataset(7);
     let k = data.k_true();
-    println!(
-        "{}: n={}, d={}, k*={}\n",
-        data.name(),
-        data.n_rows(),
-        data.n_features(),
-        k
-    );
+    println!("{}: n={}, d={}, k*={}\n", data.name(), data.n_rows(), data.n_features(), k);
     println!("{:<14} {:>7} {:>7} {:>7} {:>7}", "method", "ACC", "ARI", "AMI", "FM");
 
     let clusterers: Vec<Box<dyn CategoricalClusterer>> = vec![

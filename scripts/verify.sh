@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus style/lint hygiene. Run from anywhere.
+#
+#   scripts/verify.sh           # build + tests + fmt + clippy
+#
+# The tier-1 gate (ROADMAP.md) is `cargo build --release && cargo test -q`;
+# fmt/clippy keep the tree warning-free so regressions surface immediately.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -2,8 +2,8 @@
 //! cleanly, never panic) on degenerate inputs.
 
 use mcdc::baselines::{
-    Adc, BaselineError, CategoricalClusterer, Fkmawcw, Gudmm, KModes, Linkage, LinkageMethod,
-    Rock, Wocil,
+    Adc, BaselineError, CategoricalClusterer, Fkmawcw, Gudmm, KModes, Linkage, LinkageMethod, Rock,
+    Wocil,
 };
 use mcdc::core::{Came, CompetitiveLearning, Mcdc, McdcError, Mgcpl};
 use mcdc::data::{CategoricalTable, Schema, MISSING};
@@ -50,18 +50,9 @@ fn all_methods_reject_empty_input() {
     for c in clusterers() {
         assert!(matches!(c.cluster(&table, 2), Err(BaselineError::EmptyInput)), "{}", c.name());
     }
-    assert!(matches!(
-        Mcdc::builder().build().fit(&table, 2),
-        Err(McdcError::EmptyInput)
-    ));
-    assert!(matches!(
-        Mgcpl::builder().build().fit(&table),
-        Err(McdcError::EmptyInput)
-    ));
-    assert!(matches!(
-        CompetitiveLearning::new(0.03, 0).fit(&table, 2),
-        Err(McdcError::EmptyInput)
-    ));
+    assert!(matches!(Mcdc::builder().build().fit(&table, 2), Err(McdcError::EmptyInput)));
+    assert!(matches!(Mgcpl::builder().build().fit(&table), Err(McdcError::EmptyInput)));
+    assert!(matches!(CompetitiveLearning::new(0.03, 0).fit(&table, 2), Err(McdcError::EmptyInput)));
 }
 
 #[test]
