@@ -1,13 +1,16 @@
 //! Machine-readable perf baseline for the clustering hot path: times the
-//! MGCPL exploration (serial and mini-batch engines), Γ encoding, and CAME
-//! aggregation stages on the `scaling::syn_n` family ({3k, 10k, 30k} rows
-//! by default) and writes `BENCH_hotpath.json` (stage, engine, n, median
-//! wall ms, throughput rows/s) so future PRs can diff performance without
-//! re-deriving a harness.
+//! MGCPL exploration (serial, mini-batch, and mini-batch + δ-momentum
+//! engines), Γ encoding, and CAME aggregation stages on the
+//! `scaling::syn_n` family ({3k, 10k, 30k} rows by default) and writes
+//! `BENCH_hotpath.json` (stage, engine, n, median wall ms, throughput
+//! rows/s) so future PRs can diff performance without re-deriving a
+//! harness.
 //!
-//! The serial and mini-batch MGCPL runs are *interleaved* (serial rep,
-//! mini-batch rep, serial rep, …) so neighbor-load drift on the shared-vCPU
-//! build hosts hits both engines alike and the medians stay comparable.
+//! The MGCPL engine runs are *interleaved* (serial rep, mini-batch rep,
+//! momentum rep, serial rep, …) so neighbor-load drift on the shared-vCPU
+//! build hosts hits every engine alike and the medians stay comparable —
+//! which is what makes the reconciliation-policy column directly
+//! comparable to the PR-2 baseline rows.
 //!
 //! Usage: `cargo run --release -p mcdc-bench --bin hotpath_snapshot
 //!        [--out PATH] [--seed N] [--sizes a,b,c]`
@@ -15,7 +18,7 @@
 use std::time::Instant;
 
 use categorical_data::synth::scaling;
-use mcdc_core::{encode_mgcpl, Came, ExecutionPlan, Mgcpl};
+use mcdc_core::{encode_mgcpl, Came, DeltaMomentum, ExecutionPlan, Mgcpl};
 
 struct Entry {
     stage: &'static str,
@@ -68,14 +71,24 @@ fn main() {
         // without drowning a single-core host in clone overhead.
         let minibatch =
             Mgcpl::builder().seed(1).execution(ExecutionPlan::mini_batch(n.div_ceil(4))).build();
+        // The same plan under δ-momentum reconciliation (DESIGN.md §5). The
+        // blend itself is O(k) per pass; what this column actually measures
+        // is the *convergence* cost of damping — smoothed δ slows cluster
+        // elimination, so fits spend more passes per stage (~2× at β = 0.5).
+        let momentum = Mgcpl::builder()
+            .seed(1)
+            .execution(ExecutionPlan::mini_batch(n.div_ceil(4)))
+            .reconcile(DeltaMomentum { beta: 0.5 })
+            .build();
 
         let explored = serial.fit(data.table()).expect("synthetic data fits");
         let encoding = encode_mgcpl(&explored).expect("Gamma is encodable");
 
-        // Interleaved serial/mini-batch reps: alternating samples see the
-        // same neighbor load, so their medians stay comparable.
+        // Interleaved engine reps: alternating samples see the same
+        // neighbor load, so their medians stay comparable.
         let mut serial_samples = Vec::with_capacity(reps);
         let mut minibatch_samples = Vec::with_capacity(reps);
+        let mut momentum_samples = Vec::with_capacity(reps);
         for _ in 0..reps {
             serial_samples.push(time_ms(|| {
                 std::hint::black_box(serial.fit(data.table()).expect("fit succeeds"));
@@ -83,9 +96,13 @@ fn main() {
             minibatch_samples.push(time_ms(|| {
                 std::hint::black_box(minibatch.fit(data.table()).expect("fit succeeds"));
             }));
+            momentum_samples.push(time_ms(|| {
+                std::hint::black_box(momentum.fit(data.table()).expect("fit succeeds"));
+            }));
         }
         push("mgcpl_explore", "serial", n, reps, median(serial_samples));
         push("mgcpl_minibatch", "minibatch", n, reps, median(minibatch_samples));
+        push("mgcpl_momentum", "momentum", n, reps, median(momentum_samples));
 
         let stages: Vec<Stage> = vec![
             (

@@ -1,0 +1,205 @@
+//! Quality-band ablation of the reconciliation policies (DESIGN.md §5):
+//! sweeps policy × batch size on the well-separated and the nested
+//! high-overlap synthetic suites, 10 fit seeds each, and writes
+//! `BENCH_reconcile.json` with the per-cell ACC/ARI mean and band
+//! (max − min across seeds). The serial engine rides along as the
+//! reference: the open question this ablation answers is which policy
+//! brings the replica-merge quality band back to (or under) serial's.
+//!
+//! Usage: `cargo run --release -p mcdc-bench --bin reconcile_ablation
+//!        [--out PATH] [--seeds N] [--n ROWS]`
+
+use categorical_data::synth::GeneratorConfig;
+use categorical_data::Dataset;
+use cluster_eval::{accuracy, adjusted_rand_index};
+use mcdc_core::{DeltaAverage, DeltaMomentum, ExecutionPlan, Mcdc, OverlapShards, Reconcile};
+
+/// One reconciliation policy under test, applied to a builder.
+#[derive(Debug, Clone, Copy)]
+enum Policy {
+    Average,
+    Momentum(f64),
+    Overlap(usize),
+}
+
+impl Policy {
+    /// The canonical descriptor string (`ReconcileDescriptor`'s `Display`),
+    /// so the JSON labels can never drift from what the policies report.
+    fn label(&self) -> String {
+        match *self {
+            Policy::Average => DeltaAverage.describe().to_string(),
+            Policy::Momentum(beta) => DeltaMomentum { beta }.describe().to_string(),
+            Policy::Overlap(halo) => OverlapShards { halo }.describe().to_string(),
+        }
+    }
+
+    fn fit(&self, plan: &ExecutionPlan, seed: u64, data: &Dataset, k: usize) -> Vec<usize> {
+        let builder = Mcdc::builder().seed(seed).execution(plan.clone());
+        let builder = match *self {
+            Policy::Average => builder.reconcile(DeltaAverage),
+            Policy::Momentum(beta) => builder.reconcile(DeltaMomentum { beta }),
+            Policy::Overlap(halo) => builder.reconcile(OverlapShards { halo }),
+        };
+        builder.build().fit(data.table(), k).expect("ablation fit succeeds").labels().to_vec()
+    }
+}
+
+struct Entry {
+    suite: &'static str,
+    plan: String,
+    policy: String,
+    acc_mean: f64,
+    acc_min: f64,
+    acc_max: f64,
+    ari_mean: f64,
+    ari_min: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    // The two regimes DESIGN.md §4 contrasts: cleanly separated clusters,
+    // where every engine recovers the structure, and nested high-overlap
+    // clusters (3 classes × 3 sub-clusters sharing 70% of their features),
+    // where shard-local cascades land on different granularities run to run.
+    let suites: Vec<(&'static str, Dataset, usize)> = vec![
+        (
+            "separated",
+            GeneratorConfig::new("sep", args.n, vec![4; 8], 3).noise(0.05).generate(5).dataset,
+            3,
+        ),
+        (
+            "nested-overlap",
+            GeneratorConfig::new("nested", args.n, vec![4; 8], 3)
+                .subclusters(3)
+                .shared_fraction(0.7)
+                .noise(0.08)
+                .generate(3)
+                .dataset,
+            3,
+        ),
+    ];
+    let batches = [args.n / 4, args.n / 8];
+    let policies = [
+        Policy::Average,
+        Policy::Momentum(0.5),
+        Policy::Momentum(0.9),
+        Policy::Overlap(args.n / 32),
+    ];
+
+    let mut entries: Vec<Entry> = Vec::new();
+    println!(
+        "{:<16} {:<16} {:<28} {:>9} {:>9} {:>9} {:>9}",
+        "suite", "plan", "policy", "acc mean", "acc min", "acc band", "ari mean"
+    );
+    let mut record = |suite: &'static str, plan: String, policy: String, runs: &[(f64, f64)]| {
+        let accs: Vec<f64> = runs.iter().map(|r| r.0).collect();
+        let aris: Vec<f64> = runs.iter().map(|r| r.1).collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let entry = Entry {
+            suite,
+            plan,
+            policy,
+            acc_mean: mean(&accs),
+            acc_min: min(&accs),
+            acc_max: max(&accs),
+            ari_mean: mean(&aris),
+            ari_min: min(&aris),
+        };
+        println!(
+            "{:<16} {:<16} {:<28} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            entry.suite,
+            entry.plan,
+            entry.policy,
+            entry.acc_mean,
+            entry.acc_min,
+            entry.acc_max - entry.acc_min,
+            entry.ari_mean
+        );
+        entries.push(entry);
+    };
+
+    for (suite, data, k) in &suites {
+        // Serial reference: no reconciliation happens, so the policy column
+        // is moot; one row anchors the band every policy is judged against.
+        let serial_runs: Vec<(f64, f64)> = (1..=args.seeds)
+            .map(|seed| {
+                let labels = Policy::Average.fit(&ExecutionPlan::Serial, seed, data, *k);
+                (accuracy(data.labels(), &labels), adjusted_rand_index(data.labels(), &labels))
+            })
+            .collect();
+        record(suite, "serial".to_owned(), "—".to_owned(), &serial_runs);
+
+        for &batch in &batches {
+            let plan = ExecutionPlan::mini_batch(batch);
+            for policy in &policies {
+                let runs: Vec<(f64, f64)> = (1..=args.seeds)
+                    .map(|seed| {
+                        let labels = policy.fit(&plan, seed, data, *k);
+                        (
+                            accuracy(data.labels(), &labels),
+                            adjusted_rand_index(data.labels(), &labels),
+                        )
+                    })
+                    .collect();
+                record(suite, format!("minibatch({batch})"), policy.label(), &runs);
+            }
+        }
+    }
+
+    let json = render_json(&entries, args.seeds, args.n);
+    std::fs::write(&args.out, json).expect("write BENCH_reconcile.json");
+    println!("\nwrote {}", args.out);
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json; labels are plain
+/// ASCII, numbers are finite).
+fn render_json(entries: &[Entry], seeds: u64, n: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"reconcile_ablation\",\n");
+    out.push_str(&format!("  \"fit_seeds\": {seeds},\n"));
+    out.push_str(&format!("  \"n\": {n},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"suite\": \"{}\", \"plan\": \"{}\", \"policy\": \"{}\", \
+             \"acc_mean\": {:.4}, \"acc_min\": {:.4}, \"acc_max\": {:.4}, \
+             \"acc_band\": {:.4}, \"ari_mean\": {:.4}, \"ari_min\": {:.4}}}{}\n",
+            e.suite,
+            e.plan,
+            e.policy,
+            e.acc_mean,
+            e.acc_min,
+            e.acc_max,
+            e.acc_max - e.acc_min,
+            e.ari_mean,
+            e.ari_min,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+struct Args {
+    out: String,
+    seeds: u64,
+    n: usize,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args { out: "BENCH_reconcile.json".to_owned(), seeds: 10, n: 600 };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--out" => args.out = it.next().expect("--out PATH"),
+                "--seeds" => args.seeds = it.next().expect("--seeds N").parse().expect("numeric"),
+                "--n" => args.n = it.next().expect("--n ROWS").parse().expect("numeric"),
+                other => panic!("unknown flag {other}; use --out, --seeds, --n"),
+            }
+        }
+        args
+    }
+}

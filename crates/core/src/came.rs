@@ -134,6 +134,26 @@ impl CameBuilder {
     /// Both paths produce bit-identical results; `false` forces the serial
     /// sweep, which is useful for measuring the parallel speedup and for
     /// asserting the equivalence in tests.
+    ///
+    /// # Migration
+    ///
+    /// This CAME-only switch predates the unified execution engine and
+    /// will be removed once downstream callers have moved. Translate as
+    /// follows:
+    ///
+    /// * `.parallel(true)` → `.execution(ExecutionPlan::mini_batch(b))`
+    ///   for any replicated plan (CAME only reads
+    ///   [`ExecutionPlan::is_parallel`], so the batch size is free to be
+    ///   whatever suits the MGCPL stage);
+    /// * `.parallel(false)` → `.execution(ExecutionPlan::Serial)`;
+    /// * callers configuring the whole pipeline should set the plan once
+    ///   via [`McdcBuilder::execution`](crate::McdcBuilder::execution) —
+    ///   and, for replicated plans, pick the MGCPL merge semantics via
+    ///   [`McdcBuilder::reconcile`](crate::McdcBuilder::reconcile) — and
+    ///   drop the CAME-only toggle entirely.
+    ///
+    /// Because both CAME paths are exact, the migration never changes
+    /// results — only which code path computes them.
     #[deprecated(
         since = "0.1.0",
         note = "the CAME-only switch is superseded by the unified engine: use \

@@ -22,7 +22,11 @@
 //!   `mcdc-dist-sim`'s `GranularPartitioner` so replicas align with the
 //!   data's coarse-cluster structure.
 //!
-//! See `DESIGN.md` §4 for the reconciliation semantics and why serial ≡
+//! *How* the replicas reconcile is itself pluggable: the learner's
+//! [`Reconcile`](crate::Reconcile) policy chooses the δ blend and whether
+//! shards overlap by a halo of boundary rows (this module materializes the
+//! halo geometry into the [`ShardMap`]). See `DESIGN.md` §4 for the
+//! replica-merge semantics, §5 for the policies, and why serial ≡
 //! mini-batch only at `batch_size = n`.
 
 use categorical_data::CategoricalTable;
@@ -172,41 +176,73 @@ impl ExecutionPlan {
         }
     }
 
-    /// The row → replica map for `table`, or `None` for the serial plan.
-    /// Mini-batch geometry comes from the table's own deterministic sharder
+    /// The row → replica map for `table` under a reconciliation halo of
+    /// `halo` boundary rows, or `None` for the serial plan. Mini-batch
+    /// geometry comes from the table's own deterministic sharder
     /// ([`CategoricalTable::shard_rows`] — zero-copy `TableShard` ranges);
     /// a sharder rejection is surfaced as [`McdcError::InvalidShards`]
     /// rather than trusted to be unreachable, so the engine stays
     /// panic-free even if the two validators ever drift.
+    ///
+    /// With `halo > 0` (an overlapping [`Reconcile`](crate::Reconcile)
+    /// policy) each replica additionally *presents* — without owning — the
+    /// last `halo` rows of the previous shard and the first `halo` rows of
+    /// the next, in shard-index order; for a mini-batch plan's contiguous
+    /// shards these are the geometric boundary rows. Borrow lists clamp to
+    /// the neighbor's size, so an oversized halo degrades to presenting the
+    /// whole neighbor rather than erroring.
     pub(crate) fn shard_map(
         &self,
         table: &CategoricalTable,
+        halo: usize,
     ) -> Result<Option<ShardMap>, McdcError> {
         let n = table.n_rows();
-        match self {
-            ExecutionPlan::Serial => Ok(None),
-            ExecutionPlan::MiniBatch { batch_size } => {
-                let shards = table
-                    .shard_rows(*batch_size)
-                    .map_err(|e| McdcError::InvalidShards { message: e.to_string() })?;
-                let mut shard_of = vec![0u32; n];
-                for (s, shard) in shards.iter().enumerate() {
-                    for i in shard.range() {
-                        shard_of[i] = s as u32;
-                    }
-                }
-                Ok(Some(ShardMap { shard_of, n_shards: shards.len() }))
-            }
-            ExecutionPlan::Sharded { shards } => {
-                let mut shard_of = vec![0u32; n];
-                for (s, shard) in shards.iter().enumerate() {
-                    for &i in shard {
-                        shard_of[i] = s as u32;
-                    }
-                }
-                Ok(Some(ShardMap { shard_of, n_shards: shards.len() }))
+        let shards: Vec<Vec<usize>> = match self {
+            ExecutionPlan::Serial => return Ok(None),
+            ExecutionPlan::MiniBatch { batch_size } => table
+                .shard_rows(*batch_size)
+                .map_err(|e| McdcError::InvalidShards { message: e.to_string() })?
+                .iter()
+                .map(|shard| shard.range().collect())
+                .collect(),
+            ExecutionPlan::Sharded { shards } => shards.clone(),
+        };
+        let mut shard_of = vec![0u32; n];
+        for (s, shard) in shards.iter().enumerate() {
+            for &i in shard {
+                shard_of[i] = s as u32;
             }
         }
+        let mut extra_of: Vec<Vec<u32>> = Vec::new();
+        let mut vote_slot: Vec<u32> = Vec::new();
+        let mut halo_rows: Vec<usize> = Vec::new();
+        if halo > 0 && shards.len() > 1 {
+            extra_of.resize(n, Vec::new());
+            for s in 0..shards.len() {
+                if s > 0 {
+                    let prev = &shards[s - 1];
+                    for &i in &prev[prev.len().saturating_sub(halo)..] {
+                        extra_of[i].push(s as u32);
+                    }
+                }
+                if s + 1 < shards.len() {
+                    let next = &shards[s + 1];
+                    for &i in &next[..halo.min(next.len())] {
+                        extra_of[i].push(s as u32);
+                    }
+                }
+            }
+            // Dense indices for the (few) multiply-presented rows, so the
+            // per-pass vote buffers size with the overlap, not with n.
+            vote_slot.resize(n, u32::MAX);
+            for i in 0..n {
+                if !extra_of[i].is_empty() {
+                    vote_slot[i] = halo_rows.len() as u32;
+                    halo_rows.push(i);
+                }
+            }
+        }
+        Ok(Some(ShardMap { shard_of, n_shards: shards.len(), extra_of, vote_slot, halo_rows }))
     }
 }
 
@@ -217,6 +253,23 @@ pub(crate) struct ShardMap {
     pub shard_of: Vec<u32>,
     /// Number of replicas.
     pub n_shards: usize,
+    /// Non-owning presenters per row (halo borrowers, in shard order).
+    /// Empty — length 0, not `n` — when the reconciliation halo is 0, so
+    /// the common case allocates nothing.
+    pub extra_of: Vec<Vec<u32>>,
+    /// Dense vote-buffer index per row (`u32::MAX` for rows presented
+    /// once); empty when the halo is 0.
+    pub vote_slot: Vec<u32>,
+    /// Rows presented to more than one replica, ascending — the inverse of
+    /// `vote_slot`; empty when the halo is 0.
+    pub halo_rows: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Whether any row is presented to more than one replica.
+    pub fn has_overlap(&self) -> bool {
+        !self.extra_of.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -255,9 +308,56 @@ mod tests {
 
     #[test]
     fn mini_batch_shard_map_is_contiguous_and_complete() {
-        let map = ExecutionPlan::mini_batch(4).shard_map(&table(10)).unwrap().unwrap();
+        let map = ExecutionPlan::mini_batch(4).shard_map(&table(10), 0).unwrap().unwrap();
         assert_eq!(map.n_shards, 3);
         assert_eq!(map.shard_of, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+        assert!(!map.has_overlap());
+        assert!(map.extra_of.is_empty());
+    }
+
+    #[test]
+    fn halo_borrows_boundary_rows_from_adjacent_shards() {
+        // Shards [0..4), [4..8), [8..10) with a 2-row halo: shard 0 borrows
+        // the head of shard 1, shard 1 both boundaries, shard 2 the tail of
+        // shard 1.
+        let map = ExecutionPlan::mini_batch(4).shard_map(&table(10), 2).unwrap().unwrap();
+        assert!(map.has_overlap());
+        let mut presented: Vec<Vec<usize>> = vec![Vec::new(); map.n_shards];
+        for i in 0..10 {
+            presented[map.shard_of[i] as usize].push(i);
+            for &s in &map.extra_of[i] {
+                presented[s as usize].push(i);
+            }
+        }
+        for span in presented.iter_mut() {
+            span.sort_unstable();
+        }
+        assert_eq!(presented[0], vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(presented[1], vec![2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(presented[2], vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn oversized_halo_clamps_to_whole_neighbors() {
+        let map = ExecutionPlan::mini_batch(4).shard_map(&table(10), 100).unwrap().unwrap();
+        // Shard 1 borrows all of shards 0 and 2; no row is presented twice
+        // to the same replica.
+        let borrowed_by_1: Vec<usize> = (0..10).filter(|&i| map.extra_of[i].contains(&1)).collect();
+        assert_eq!(borrowed_by_1, vec![0, 1, 2, 3, 8, 9]);
+        for i in 0..10usize {
+            let mut presenters: Vec<u32> = map.extra_of[i].clone();
+            presenters.push(map.shard_of[i]);
+            presenters.sort_unstable();
+            presenters.dedup();
+            assert_eq!(presenters.len(), 1 + map.extra_of[i].len(), "row {i} double-presented");
+        }
+    }
+
+    #[test]
+    fn single_shard_plans_never_overlap() {
+        let map = ExecutionPlan::mini_batch(10).shard_map(&table(10), 3).unwrap().unwrap();
+        assert_eq!(map.n_shards, 1);
+        assert!(!map.has_overlap());
     }
 
     #[test]
@@ -290,9 +390,22 @@ mod tests {
     fn sharded_map_tracks_explicit_ownership() {
         let plan = ExecutionPlan::sharded(vec![vec![3, 1], vec![0, 2]]);
         plan.validate(4).unwrap();
-        let map = plan.shard_map(&table(4)).unwrap().unwrap();
+        let map = plan.shard_map(&table(4), 0).unwrap().unwrap();
         assert_eq!(map.n_shards, 2);
         assert_eq!(map.shard_of, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn sharded_halo_follows_shard_list_order() {
+        // Explicit shards treat their stored row order as the boundary:
+        // shard 0 borrows the first entry of shard 1's list (row 0), shard 1
+        // the last entry of shard 0's list (row 1).
+        let plan = ExecutionPlan::sharded(vec![vec![3, 1], vec![0, 2]]);
+        let map = plan.shard_map(&table(4), 1).unwrap().unwrap();
+        assert_eq!(map.extra_of[0], vec![0]);
+        assert_eq!(map.extra_of[1], vec![1]);
+        assert!(map.extra_of[2].is_empty());
+        assert!(map.extra_of[3].is_empty());
     }
 
     #[test]

@@ -11,6 +11,18 @@
 //! * [`Mcdc`] — the end-to-end pipeline, plus [`run_ablation`] for the
 //!   MCDC₁–MCDC₄ ladder of Fig. 4 and [`CompetitiveLearning`] (Section II-B).
 //!
+//! Beyond the paper, the crate scales the method out and keeps it honest
+//! while doing so:
+//!
+//! * [`ExecutionPlan`] — the pluggable execution engine (serial /
+//!   mini-batch / sharded replica-merge parallelism) driving MGCPL, CAME,
+//!   and the streaming re-fit through one builder knob (DESIGN.md §4);
+//! * [`Reconcile`] — the reconciliation policies replicated plans merge
+//!   under: [`DeltaAverage`], [`DeltaMomentum`], [`OverlapShards`]
+//!   (DESIGN.md §5);
+//! * [`StreamingMcdc`] — online absorption with drift-triggered re-fits
+//!   over a bounded reservoir.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -43,6 +55,7 @@ mod execution;
 mod mgcpl;
 mod pipeline;
 mod profile;
+mod reconcile;
 mod streaming;
 mod trace;
 pub mod weights;
@@ -57,5 +70,6 @@ pub use execution::ExecutionPlan;
 pub use mgcpl::{Mgcpl, MgcplBuilder, MgcplResult};
 pub use pipeline::{Mcdc, McdcBuilder, McdcResult};
 pub use profile::{score_all, score_all_transposed, ClusterProfile};
+pub use reconcile::{DeltaAverage, DeltaMomentum, OverlapShards, Reconcile, ReconcileDescriptor};
 pub use streaming::{MgcplResultSummary, StreamingMcdc};
 pub use trace::{LearningTrace, StageRecord};

@@ -9,6 +9,8 @@
 //! clusters — producing one partition per *granularity* until two
 //! consecutive stages agree (`k_new == k_old`).
 
+use std::sync::Arc;
+
 use categorical_data::stats::FrequencyTable;
 use categorical_data::CategoricalTable;
 use rand::seq::SliceRandom;
@@ -21,7 +23,8 @@ use categorical_data::{CsrLayout, MISSING};
 use crate::execution::ShardMap;
 use crate::weights::feature_weights_into;
 use crate::{
-    score_all_transposed, ClusterProfile, ExecutionPlan, LearningTrace, McdcError, StageRecord,
+    score_all_transposed, ClusterProfile, DeltaAverage, ExecutionPlan, LearningTrace, McdcError,
+    Reconcile, StageRecord,
 };
 
 /// Configurable MGCPL learner. Construct via [`Mgcpl::builder`].
@@ -42,7 +45,7 @@ use crate::{
 /// assert!(result.kappa.windows(2).all(|w| w[0] > w[1]) || result.kappa.len() == 1);
 /// # Ok::<(), mcdc_core::McdcError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Mgcpl {
     learning_rate: f64,
     initial_k: Option<usize>,
@@ -52,11 +55,29 @@ pub struct Mgcpl {
     random_init: bool,
     seed: u64,
     execution: ExecutionPlan,
+    reconcile: Arc<dyn Reconcile>,
+}
+
+// Policies compare by descriptor (name + parameters): two learners with the
+// same configuration and equally-described policies behave identically, and
+// `Arc<dyn Reconcile>` has no derivable equality of its own.
+impl PartialEq for Mgcpl {
+    fn eq(&self, other: &Self) -> bool {
+        self.learning_rate == other.learning_rate
+            && self.initial_k == other.initial_k
+            && self.max_inner_iterations == other.max_inner_iterations
+            && self.max_stages == other.max_stages
+            && self.weighted_similarity == other.weighted_similarity
+            && self.random_init == other.random_init
+            && self.seed == other.seed
+            && self.execution == other.execution
+            && self.reconcile.describe() == other.reconcile.describe()
+    }
 }
 
 /// Builder for [`Mgcpl`]; defaults follow the paper (`η = 0.03`,
 /// `k₀ = √n`, feature weighting on).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MgcplBuilder {
     learning_rate: f64,
     initial_k: Option<usize>,
@@ -66,6 +87,21 @@ pub struct MgcplBuilder {
     random_init: bool,
     seed: u64,
     execution: ExecutionPlan,
+    reconcile: Arc<dyn Reconcile>,
+}
+
+impl PartialEq for MgcplBuilder {
+    fn eq(&self, other: &Self) -> bool {
+        self.learning_rate == other.learning_rate
+            && self.initial_k == other.initial_k
+            && self.max_inner_iterations == other.max_inner_iterations
+            && self.max_stages == other.max_stages
+            && self.weighted_similarity == other.weighted_similarity
+            && self.random_init == other.random_init
+            && self.seed == other.seed
+            && self.execution == other.execution
+            && self.reconcile.describe() == other.reconcile.describe()
+    }
 }
 
 impl Default for MgcplBuilder {
@@ -79,6 +115,7 @@ impl Default for MgcplBuilder {
             random_init: true,
             seed: 0,
             execution: ExecutionPlan::Serial,
+            reconcile: Arc::new(DeltaAverage),
         }
     }
 }
@@ -151,11 +188,28 @@ impl MgcplBuilder {
         self
     }
 
+    /// Selects the reconciliation policy replicated plans use when their
+    /// shard replicas merge (default [`DeltaAverage`], the PR-2 rule). Has
+    /// no effect under [`ExecutionPlan::Serial`], which never reconciles.
+    /// See [`Reconcile`] for the shipped policies and the hook contract.
+    pub fn reconcile(self, policy: impl Reconcile + 'static) -> Self {
+        self.reconcile_arc(Arc::new(policy))
+    }
+
+    /// [`reconcile`](Self::reconcile) for an already-shared policy (what
+    /// [`McdcBuilder`](crate::McdcBuilder) forwards).
+    pub(crate) fn reconcile_arc(mut self, policy: Arc<dyn Reconcile>) -> Self {
+        self.reconcile = policy;
+        self
+    }
+
     /// Validates and builds the learner.
     ///
     /// # Panics
     ///
-    /// Panics if `learning_rate` is not in `(0, 1)` or a cap is zero.
+    /// Panics if `learning_rate` is not in `(0, 1)`, a cap is zero, or the
+    /// reconciliation policy describes a momentum coefficient outside
+    /// `[0, 1)`.
     pub fn build(self) -> Mgcpl {
         assert!(
             self.learning_rate > 0.0 && self.learning_rate < 1.0,
@@ -163,6 +217,11 @@ impl MgcplBuilder {
         );
         assert!(self.max_inner_iterations > 0, "max_inner_iterations must be positive");
         assert!(self.max_stages > 0, "max_stages must be positive");
+        let beta = self.reconcile.describe().beta;
+        assert!(
+            (0.0..1.0).contains(&beta),
+            "reconcile momentum beta must be in [0, 1), got {beta}"
+        );
         Mgcpl {
             learning_rate: self.learning_rate,
             initial_k: self.initial_k,
@@ -172,6 +231,7 @@ impl MgcplBuilder {
             random_init: self.random_init,
             seed: self.seed,
             execution: self.execution,
+            reconcile: self.reconcile,
         }
     }
 }
@@ -334,6 +394,11 @@ impl Mgcpl {
         &self.execution
     }
 
+    /// The configured reconciliation policy.
+    pub fn reconcile_policy(&self) -> &dyn Reconcile {
+        self.reconcile.as_ref()
+    }
+
     /// A copy of this learner with its execution plan adapted to an input
     /// of `n` rows ([`ExecutionPlan::for_rows`]) — what callers that re-fit
     /// over growing or shrinking inputs (the streaming reservoir) use to
@@ -358,7 +423,7 @@ impl Mgcpl {
             return Err(McdcError::EmptyInput);
         }
         self.execution.validate(n)?;
-        let shard_map = self.execution.shard_map(table)?;
+        let shard_map = self.execution.shard_map(table, self.reconcile.halo())?;
         let d = table.n_features();
         let k0 = match self.initial_k {
             Some(k) => {
@@ -504,6 +569,7 @@ impl Mgcpl {
                         clusters,
                         assignment,
                         &mut decisions,
+                        None,
                         &one_minus_rho,
                         &mut prefactors,
                         &mut accumulators,
@@ -606,7 +672,10 @@ impl Mgcpl {
     /// cascade of Alg. 1, updating `clusters` and the hoisted `prefactors`
     /// in place and pushing each presented row's winner onto `decisions`
     /// (in presentation order — `decisions[t]` is the verdict for
-    /// `order[t]`). Returns whether any membership changed.
+    /// `order[t]`). When `confidences` is given, the winner's plain Eq. (14)
+    /// similarity (no `(1 − ρ)·u` prefactor) is recorded alongside each
+    /// decision — the vote weight overlapping reconciliation policies use.
+    /// Returns whether any membership changed.
     ///
     /// Assignments are *read* from the frozen `prior` snapshot rather than
     /// written back live: every row is presented exactly once per pass, so
@@ -629,6 +698,7 @@ impl Mgcpl {
         clusters: &mut Cohort,
         prior: &[Option<usize>],
         decisions: &mut Vec<usize>,
+        mut confidences: Option<&mut Vec<f64>>,
         one_minus_rho: &[f64],
         prefactors: &mut [f64],
         accumulators: &mut [f64],
@@ -638,6 +708,9 @@ impl Mgcpl {
         let use_weighted = self.weighted_similarity;
         let mut changed = false;
         decisions.clear();
+        if let Some(scores) = confidences.as_deref_mut() {
+            scores.clear();
+        }
         for &i in order {
             let row = table.row(i);
             // Score every live cluster — (1 − ρ_l) · u_l · s(x_i, C_l) —
@@ -664,6 +737,9 @@ impl Mgcpl {
                 changed = true;
             }
             decisions.push(best);
+            if let Some(scores) = confidences.as_deref_mut() {
+                scores.push(accumulators[best] * post_scale);
+            }
             clusters.wins_now[best] += 1;
 
             // Award the winner (Eq. 12), penalize the rival by a step
@@ -693,22 +769,34 @@ impl Mgcpl {
 
     /// Replica-merge apply phase: one [`apply_span`](Self::apply_span) per
     /// shard against a frozen clone of the pass-start cohort, rayon-parallel
-    /// across shards, reconciled into `clusters`:
+    /// across shards, reconciled into `clusters` under the configured
+    /// [`Reconcile`] policy (DESIGN.md §5):
     ///
-    /// * **profiles** — each replica rebuilds per-cluster profiles over its
-    ///   own shard rows from its final local assignment; the global profile
-    ///   is the [`ClusterProfile::merge`] across replicas. Every row lives
-    ///   in exactly one shard, so the merged integer counts are exact;
-    /// * **δ** — shard-size-weighted average of the replica accumulators
-    ///   (one replica ⇒ weight `1.0` ⇒ bit-exact with serial);
-    /// * **wins** — integer sums;
+    /// * **spans** — each replica presents its owned rows plus, when the
+    ///   policy declares a halo, the boundary rows borrowed from adjacent
+    ///   shards ([`ExecutionPlan::shard_map`] materializes the geometry);
+    /// * **memberships** — rows presented once take their replica's verdict
+    ///   directly; rows presented on several replicas settle by the
+    ///   policy's [`resolve`](Reconcile::resolve) vote over the replicas'
+    ///   `(winner, similarity)` verdicts;
+    /// * **profiles** — per-cluster profiles are rebuilt over each shard's
+    ///   *owned* rows from the final (post-vote) memberships, then merged
+    ///   via [`ClusterProfile::merge`]. Every row is owned by exactly one
+    ///   shard whatever the halo, so the merged integer counts stay exact;
+    /// * **δ** — span-size-weighted average of the replica accumulators,
+    ///   handed to the policy's [`blend_delta`](Reconcile::blend_delta)
+    ///   together with the pass-start δ (one replica ⇒ weight `1.0`, and the
+    ///   default blend keeps the average ⇒ bit-exact with serial);
+    /// * **wins** — integer counts of the final memberships (halo rows
+    ///   count once, not once per presenting replica);
     /// * **ω** — not reconciled here: the epilogue re-derives it from the
-    ///   merged profiles, which is the deterministic consensus.
+    ///   merged profiles after every blend, which is the deterministic
+    ///   consensus.
     ///
-    /// The presentation order inside each shard is the global per-pass
-    /// shuffle filtered to that shard, so a one-shard plan degenerates to
-    /// the serial order and results are deterministic for a fixed seed and
-    /// shard count.
+    /// The presentation order inside each span is the global per-pass
+    /// shuffle filtered to that span, so a one-shard plan degenerates to
+    /// the serial order and results are deterministic for a fixed seed,
+    /// shard count, and policy.
     #[allow(clippy::too_many_arguments)]
     fn apply_replicated(
         &self,
@@ -722,84 +810,150 @@ impl Mgcpl {
         map: &ShardMap,
     ) -> bool {
         let k = clusters.len();
-        let mut shard_orders: Vec<Vec<usize>> = vec![Vec::new(); map.n_shards];
+        let n = order.len();
+        let overlap = map.has_overlap();
+        // Presentation spans: the global shuffle filtered to each replica's
+        // owned-plus-borrowed row set, preserving the shuffled order.
+        let mut spans: Vec<Vec<usize>> = vec![Vec::new(); map.n_shards];
         for &i in order {
-            shard_orders[map.shard_of[i] as usize].push(i);
+            spans[map.shard_of[i] as usize].push(i);
+            if overlap {
+                for &s in &map.extra_of[i] {
+                    spans[s as usize].push(i);
+                }
+            }
         }
 
         struct Replica {
             rows: Vec<usize>,
-            changed: bool,
             delta: Vec<f64>,
-            wins: Vec<u64>,
             /// Winner per presented row, parallel to `rows`.
             decisions: Vec<usize>,
-            profiles: Vec<ClusterProfile>,
+            /// Winner similarity per presented row; empty without overlap.
+            confidences: Vec<f64>,
         }
 
+        let layout = clusters.layout.clone();
         let snapshot: &Cohort = clusters;
         let frozen_assignment: &[Option<usize>] = assignment;
-        let replicas: Vec<Replica> = shard_orders
+        let replicas: Vec<Replica> = spans
             .into_par_iter()
             .map(|rows| {
                 let mut local = snapshot.clone();
                 let mut local_prefactors = prefactors.to_vec();
                 let mut accumulators = vec![0.0; k];
                 let mut decisions = Vec::with_capacity(rows.len());
-                let changed = self.apply_span(
+                let mut confidences = Vec::new();
+                self.apply_span(
                     table,
                     &rows,
                     &mut local,
                     frozen_assignment,
                     &mut decisions,
+                    overlap.then_some(&mut confidences),
                     one_minus_rho,
                     &mut local_prefactors,
                     &mut accumulators,
                     post_scale,
                 );
-                // Shard-restricted per-cluster profiles for the merge, bulk
-                // built (deferred rescale) from the final local decisions.
-                let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
-                for (&i, &c) in rows.iter().zip(&decisions) {
-                    members[c].push(i);
-                }
-                let profiles = members
-                    .iter()
-                    .map(|m| {
-                        let mut p = ClusterProfile::with_layout(snapshot.layout.clone());
-                        p.extend_rows(m.iter().map(|&i| table.row(i)));
-                        p
-                    })
-                    .collect();
-                Replica {
-                    rows,
-                    changed,
-                    delta: local.delta,
-                    wins: local.wins_now,
-                    decisions,
-                    profiles,
-                }
+                Replica { rows, delta: local.delta, decisions, confidences }
             })
             .collect();
 
-        let n = order.len() as f64;
-        let mut changed = false;
-        let mut merged: Vec<ClusterProfile> =
-            (0..k).map(|_| ClusterProfile::with_layout(clusters.layout.clone())).collect();
-        clusters.delta.fill(0.0);
-        for replica in &replicas {
-            changed |= replica.changed;
-            let weight = replica.rows.len() as f64 / n;
-            for l in 0..k {
-                merged[l].merge(&replica.profiles[l]);
-                clusters.delta[l] += weight * replica.delta[l];
-                clusters.wins_now[l] += replica.wins[l];
+        // Final membership per row: the owning replica's verdict when the
+        // row was presented once, the policy's vote otherwise. Vote buffers
+        // are indexed by the shard map's dense halo slots, so their size
+        // tracks the overlap (≤ 2·halo·(shards−1) rows), not n.
+        let mut final_of: Vec<usize> = vec![usize::MAX; n];
+        if overlap {
+            let mut votes: Vec<Vec<(usize, f64)>> = vec![Vec::new(); map.halo_rows.len()];
+            for replica in &replicas {
+                for ((&i, &c), &s) in
+                    replica.rows.iter().zip(&replica.decisions).zip(&replica.confidences)
+                {
+                    match map.vote_slot[i] {
+                        u32::MAX => final_of[i] = c,
+                        slot => votes[slot as usize].push((c, s)),
+                    }
+                }
             }
-            for (&i, &c) in replica.rows.iter().zip(&replica.decisions) {
-                assignment[i] = Some(c);
+            for (&i, row_votes) in map.halo_rows.iter().zip(&votes) {
+                let c = self.reconcile.resolve(row_votes);
+                // `resolve` is a public extension hook: catch a policy that
+                // invents a cluster here, where the policy can be named,
+                // instead of as an opaque index panic deeper in the engine.
+                assert!(
+                    row_votes.iter().any(|&(voted, _)| voted == c),
+                    "reconcile policy {} resolved row {i} to cluster {c}, \
+                     which none of its replicas voted for ({:?})",
+                    self.reconcile.describe(),
+                    row_votes,
+                );
+                final_of[i] = c;
+            }
+        } else {
+            for replica in &replicas {
+                for (&i, &c) in replica.rows.iter().zip(&replica.decisions) {
+                    final_of[i] = c;
+                }
+            }
+        }
+
+        // Write back memberships; wins count each row's final verdict once.
+        let mut changed = false;
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            let c = final_of[i];
+            if *slot != Some(c) {
+                changed = true;
+            }
+            *slot = Some(c);
+            clusters.wins_now[c] += 1;
+        }
+
+        // Exact profile merge from the final memberships, grouped by owning
+        // shard (bulk deferred-rescale builds, parallel across shards).
+        let shard_profiles: Vec<Vec<ClusterProfile>> = (0..replicas.len())
+            .collect::<Vec<usize>>()
+            .into_par_iter()
+            .map(|s| {
+                let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+                for &i in &replicas[s].rows {
+                    if map.shard_of[i] as usize == s {
+                        members[final_of[i]].push(i);
+                    }
+                }
+                members
+                    .iter()
+                    .map(|m| {
+                        let mut p = ClusterProfile::with_layout(layout.clone());
+                        p.extend_rows(m.iter().map(|&i| table.row(i)));
+                        p
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut merged: Vec<ClusterProfile> =
+            (0..k).map(|_| ClusterProfile::with_layout(layout.clone())).collect();
+        for profiles in &shard_profiles {
+            for l in 0..k {
+                merged[l].merge(&profiles[l]);
             }
         }
         clusters.profiles = merged;
+
+        // δ consensus: span-size-weighted average, then the policy's blend
+        // against the pass-start value.
+        let total_presented: f64 = replicas.iter().map(|r| r.rows.len() as f64).sum();
+        let pass_start = std::mem::take(&mut clusters.delta);
+        let mut blended = vec![0.0; k];
+        for replica in &replicas {
+            let weight = replica.rows.len() as f64 / total_presented;
+            for l in 0..k {
+                blended[l] += weight * replica.delta[l];
+            }
+        }
+        self.reconcile.blend_delta(&pass_start, &mut blended);
+        clusters.delta = blended;
         changed
     }
 }

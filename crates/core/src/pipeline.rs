@@ -1,10 +1,13 @@
 //! The end-to-end MCDC pipeline: MGCPL multi-granular learning followed by
 //! CAME aggregation on the Γ encoding.
 
+use std::sync::Arc;
+
 use categorical_data::CategoricalTable;
 
 use crate::{
     encode_mgcpl, Came, CameInit, CameResult, ExecutionPlan, McdcError, Mgcpl, MgcplResult,
+    Reconcile,
 };
 
 /// The full MCDC clusterer. Construct via [`Mcdc::builder`].
@@ -32,7 +35,7 @@ pub struct Mcdc {
 
 /// Builder for [`Mcdc`] with the paper's defaults (`η = 0.03`, `k₀ = √n`,
 /// weighted MGCPL similarity, weighted CAME, granularity-guided init).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct McdcBuilder {
     learning_rate: Option<f64>,
     initial_k: Option<usize>,
@@ -40,7 +43,24 @@ pub struct McdcBuilder {
     came_weighted: Option<bool>,
     came_init: Option<CameInit>,
     execution: Option<ExecutionPlan>,
+    reconcile: Option<Arc<dyn Reconcile>>,
     seed: u64,
+}
+
+// Reconciliation policies compare by descriptor (see `Mgcpl`'s PartialEq);
+// everything else is structural.
+impl PartialEq for McdcBuilder {
+    fn eq(&self, other: &Self) -> bool {
+        self.learning_rate == other.learning_rate
+            && self.initial_k == other.initial_k
+            && self.weighted_similarity == other.weighted_similarity
+            && self.came_weighted == other.came_weighted
+            && self.came_init == other.came_init
+            && self.execution == other.execution
+            && self.reconcile.as_ref().map(|p| p.describe())
+                == other.reconcile.as_ref().map(|p| p.describe())
+            && self.seed == other.seed
+    }
 }
 
 impl McdcBuilder {
@@ -86,6 +106,28 @@ impl McdcBuilder {
         self
     }
 
+    /// Selects the reconciliation policy the MGCPL stage uses when a
+    /// replicated [`execution`](Self::execution) plan merges its shard
+    /// replicas (default [`DeltaAverage`](crate::DeltaAverage)). CAME is
+    /// unaffected — its parallel paths are exact, so there is nothing for a
+    /// policy to trade. No effect under [`ExecutionPlan::Serial`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mcdc_core::{DeltaMomentum, ExecutionPlan, Mcdc};
+    ///
+    /// let mcdc = Mcdc::builder()
+    ///     .execution(ExecutionPlan::mini_batch(256))
+    ///     .reconcile(DeltaMomentum { beta: 0.9 })
+    ///     .build();
+    /// # let _ = mcdc;
+    /// ```
+    pub fn reconcile(mut self, policy: impl Reconcile + 'static) -> Self {
+        self.reconcile = Some(Arc::new(policy));
+        self
+    }
+
     /// Seeds all randomized choices.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -118,6 +160,9 @@ impl McdcBuilder {
         if let Some(plan) = self.execution {
             came = came.execution(plan.clone());
             mgcpl = mgcpl.execution(plan);
+        }
+        if let Some(policy) = self.reconcile {
+            mgcpl = mgcpl.reconcile_arc(policy);
         }
         Mcdc { mgcpl: mgcpl.build(), came: came.build() }
     }
@@ -158,8 +203,36 @@ impl McdcResult {
 
 impl Mcdc {
     /// Starts building an MCDC pipeline with paper defaults.
+    ///
+    /// # Example
+    ///
+    /// Every knob is optional; the three below are the ones production
+    /// deployments touch most — the parallelism plan, its reconciliation
+    /// policy, and the seed:
+    ///
+    /// ```
+    /// use mcdc_core::{DeltaMomentum, ExecutionPlan, Mcdc};
+    ///
+    /// let mcdc = Mcdc::builder()
+    ///     .execution(ExecutionPlan::mini_batch(512))
+    ///     .reconcile(DeltaMomentum { beta: 0.5 })
+    ///     .seed(42)
+    ///     .build();
+    /// assert!(mcdc.execution_plan().is_parallel());
+    /// ```
     pub fn builder() -> McdcBuilder {
         McdcBuilder::default()
+    }
+
+    /// The execution plan the MGCPL stage runs under (CAME derives its
+    /// parallel toggle from the same plan at build time).
+    pub fn execution_plan(&self) -> &ExecutionPlan {
+        self.mgcpl.execution_plan()
+    }
+
+    /// The reconciliation policy replicated MGCPL passes merge under.
+    pub fn reconcile_policy(&self) -> &dyn Reconcile {
+        self.mgcpl.reconcile_policy()
     }
 
     /// Runs MGCPL then CAME, partitioning `table` into `k` clusters.

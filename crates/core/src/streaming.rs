@@ -219,7 +219,11 @@ impl StreamingMcdc {
     /// ([`ExecutionPlan::for_rows`](crate::ExecutionPlan::for_rows)) — a
     /// plan sized for the bootstrap batch (an explicit `Sharded` partition,
     /// or a `MiniBatch` larger than the reservoir) would otherwise
-    /// invalidate every re-fit once the stream grows past it.
+    /// invalidate every re-fit once the stream grows past it. The learner's
+    /// [`Reconcile`](crate::Reconcile) policy needs no such adaptation and
+    /// rides along unchanged: halo widths clamp to the adapted shard sizes,
+    /// so a δ-momentum or overlapping-shard re-fit stays well-posed at any
+    /// reservoir size.
     ///
     /// # Errors
     ///
@@ -390,6 +394,38 @@ mod tests {
         // the nearest cluster at every granularity now contains the row.
         let labels = stream.absorb(&novel);
         assert_eq!(labels.len(), stream.sigma());
+    }
+
+    #[test]
+    fn refit_carries_the_reconcile_policy_through() {
+        use crate::{DeltaMomentum, ExecutionPlan, OverlapShards};
+        let data = batch(11);
+        for (name, mgcpl) in [
+            (
+                "delta-momentum",
+                Mgcpl::builder()
+                    .seed(1)
+                    .execution(ExecutionPlan::mini_batch(128))
+                    .reconcile(DeltaMomentum { beta: 0.7 })
+                    .build(),
+            ),
+            (
+                "overlap-shards",
+                Mgcpl::builder()
+                    .seed(1)
+                    .execution(ExecutionPlan::mini_batch(128))
+                    .reconcile(OverlapShards { halo: 16 })
+                    .build(),
+            ),
+        ] {
+            let mut stream = StreamingMcdc::bootstrap(mgcpl, data.table()).unwrap();
+            for i in 0..200 {
+                stream.absorb(data.table().row(i % 300));
+            }
+            let summary = stream.refit().unwrap();
+            assert!(summary.sigma >= 1, "{name} refit lost its granularities");
+            assert!(stream.kappa().iter().all(|&k| k >= 1));
+        }
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Semantics pins for the reconciliation policy layer (DESIGN.md §5):
+//!
+//! * `DeltaMomentum { beta: 0 }` and `OverlapShards { halo: 0 }` override
+//!   nothing that fires at those parameter values, so both must reproduce
+//!   `DeltaAverage` **bit-exactly** — partitions, κ, and trace — on any
+//!   plan (property-tested over random tables, batch sizes, and seeds);
+//! * every policy is deterministic for a fixed seed, shard count, and
+//!   parameter value;
+//! * on the nested high-overlap suite the δ-momentum variant is no worse
+//!   than δ-average across 10 fit seeds: mean ACC at least as high, ACC
+//!   band (max − min) at most as wide — the property PR 3 exists to buy
+//!   (the measured ablation lives in `BENCH_reconcile.json`).
+
+use categorical_data::synth::GeneratorConfig;
+use categorical_data::{CategoricalTable, Dataset};
+use cluster_eval::accuracy;
+use mcdc_core::{
+    DeltaAverage, DeltaMomentum, ExecutionPlan, Mcdc, Mgcpl, OverlapShards, Reconcile,
+};
+use proptest::prelude::*;
+
+fn nested(n: usize, seed: u64) -> Dataset {
+    GeneratorConfig::new("nested", n, vec![4; 8], 3)
+        .subclusters(3)
+        .shared_fraction(0.7)
+        .noise(0.08)
+        .generate(seed)
+        .dataset
+}
+
+fn fit_with(
+    policy: impl Reconcile + 'static,
+    plan: ExecutionPlan,
+    table: &CategoricalTable,
+    seed: u64,
+) -> mcdc_core::MgcplResult {
+    Mgcpl::builder().seed(seed).execution(plan).reconcile(policy).build().fit(table).unwrap()
+}
+
+fn arbitrary_table() -> impl Strategy<Value = CategoricalTable> {
+    (20usize..120, 2usize..6).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(proptest::collection::vec(0u32..4, d), n).prop_map(move |rows| {
+            let mut table = CategoricalTable::new(categorical_data::Schema::uniform(d, 4));
+            for row in &rows {
+                table.push_row(row).unwrap();
+            }
+            table
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn momentum_beta_zero_is_bit_exact_with_delta_average(
+        table in arbitrary_table(),
+        batch_divisor in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let batch = (table.n_rows() / batch_divisor).max(1);
+        let plan = ExecutionPlan::mini_batch(batch);
+        let reference = fit_with(DeltaAverage, plan.clone(), &table, seed);
+        let momentum = fit_with(DeltaMomentum { beta: 0.0 }, plan, &table, seed);
+        prop_assert_eq!(reference, momentum);
+    }
+
+    #[test]
+    fn overlap_halo_zero_is_bit_exact_with_delta_average(
+        table in arbitrary_table(),
+        batch_divisor in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let batch = (table.n_rows() / batch_divisor).max(1);
+        let plan = ExecutionPlan::mini_batch(batch);
+        let reference = fit_with(DeltaAverage, plan.clone(), &table, seed);
+        let overlap = fit_with(OverlapShards { halo: 0 }, plan, &table, seed);
+        prop_assert_eq!(reference, overlap);
+    }
+}
+
+#[test]
+fn degenerate_policies_pin_bit_exact_on_sharded_plans_too() {
+    // The property above covers contiguous mini-batches; explicit (here:
+    // round-robin, worst-locality) partitions go through the same span
+    // builder and must pin identically.
+    let data = nested(240, 7);
+    let shards: Vec<Vec<usize>> = (0..4).map(|s| (s..240).step_by(4).collect()).collect();
+    let plan = ExecutionPlan::sharded(shards);
+    let reference = fit_with(DeltaAverage, plan.clone(), data.table(), 9);
+    assert_eq!(reference, fit_with(DeltaMomentum { beta: 0.0 }, plan.clone(), data.table(), 9));
+    assert_eq!(reference, fit_with(OverlapShards { halo: 0 }, plan, data.table(), 9));
+}
+
+#[test]
+fn policies_are_deterministic_for_fixed_configuration() {
+    let data = nested(300, 4);
+    let plan = ExecutionPlan::mini_batch(75);
+    let momentum = |seed| fit_with(DeltaMomentum { beta: 0.7 }, plan.clone(), data.table(), seed);
+    assert_eq!(momentum(5), momentum(5));
+    let overlap = |seed| fit_with(OverlapShards { halo: 12 }, plan.clone(), data.table(), seed);
+    assert_eq!(overlap(5), overlap(5));
+}
+
+#[test]
+fn momentum_is_no_worse_than_delta_average_on_nested_overlap() {
+    // The headline property of the reconciliation layer, pinned on the
+    // exact configuration `BENCH_reconcile.json` records (n = 600 nested
+    // suite, 4 contiguous shards): across 10 fit seeds the δ-momentum
+    // variant's mean ACC is at least δ-average's and its quality band
+    // (max − min ACC) is no wider. Deterministic for the shim RNG stream —
+    // measured at band 0.150 vs 0.343 and mean 0.715 vs 0.703 (β = 0.9).
+    let data = nested(600, 3);
+    let plan = ExecutionPlan::mini_batch(150);
+    let run = |apply: &dyn Fn(mcdc_core::McdcBuilder) -> mcdc_core::McdcBuilder| -> Vec<f64> {
+        (1u64..=10)
+            .map(|seed| {
+                let builder = Mcdc::builder().seed(seed).execution(plan.clone());
+                let labels = apply(builder).build().fit(data.table(), 3).unwrap().labels().to_vec();
+                accuracy(data.labels(), &labels)
+            })
+            .collect()
+    };
+    let average = run(&|b| b.reconcile(DeltaAverage));
+    let momentum = run(&|b| b.reconcile(DeltaMomentum { beta: 0.9 }));
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let band = |v: &[f64]| {
+        v.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - v.iter().copied().fold(f64::INFINITY, f64::min)
+    };
+    assert!(
+        mean(&momentum) >= mean(&average) - 1e-9,
+        "momentum mean ACC regressed: {} < {}",
+        mean(&momentum),
+        mean(&average)
+    );
+    assert!(
+        band(&momentum) <= band(&average) + 1e-9,
+        "momentum band widened: {} > {}",
+        band(&momentum),
+        band(&average)
+    );
+}
+
+#[test]
+fn overlap_halo_clamps_to_tiny_shards() {
+    // A halo far larger than any shard degrades to presenting whole
+    // neighbors; the fit must stay valid and deterministic.
+    let data = nested(120, 2);
+    let plan = ExecutionPlan::mini_batch(30);
+    let fit = || fit_with(OverlapShards { halo: 1_000 }, plan.clone(), data.table(), 3);
+    let result = fit();
+    assert!(!result.partitions.is_empty());
+    assert!(result.kappa.iter().all(|&k| k >= 1));
+    assert_eq!(result, fit());
+}

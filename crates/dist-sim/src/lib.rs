@@ -39,6 +39,6 @@ pub use executor::{ExecutionStats, SimulatedCluster, WorkItem};
 pub use grouping::{NodeGroup, NodeGrouper, NodeGroups};
 pub use partition::{round_robin, GranularPartitioner, Placement, PlacementReport};
 pub use workload::{
-    execution_plan_from_placement, shards_from_placement, simulate_real_workload,
+    execution_plan_from_placement, shards_from_placement, simulate_real_workload, suggested_halo,
     workload_from_table,
 };

@@ -52,9 +52,37 @@ pub fn shards_from_placement(placement: &Placement) -> Vec<Vec<usize>> {
 
 /// The [`ExecutionPlan::Sharded`] plan executing a placement: MGCPL's
 /// replica-merge pass runs one replica per worker, each owning exactly the
-/// rows the locality-aware partitioner placed there.
+/// rows the locality-aware partitioner placed there. Pair with an
+/// overlapping reconciliation policy
+/// (`mcdc_core::OverlapShards { halo: suggested_halo(&placement) }`) when
+/// the placement's shard boundaries cut through coarse clusters — see
+/// [`suggested_halo`].
 pub fn execution_plan_from_placement(placement: &Placement) -> ExecutionPlan {
     ExecutionPlan::sharded(shards_from_placement(placement))
+}
+
+/// A reconciliation halo width matched to a placement's shard geometry: an
+/// eighth of the *smallest* non-empty worker's load, at least 1 row.
+///
+/// Rationale: the halo exists to give each replica context just past its
+/// boundary, so it should scale with shard size — but a halo comparable to
+/// a shard makes replicas re-present whole neighbors (each borrowed row
+/// costs one extra scoring presentation per pass). One eighth keeps the
+/// overlap well under the replica's own span for any shard the partitioner
+/// emits, and the floor of 1 keeps tiny placements overlapping at all.
+/// Feed the result to `mcdc_core::OverlapShards` alongside
+/// [`execution_plan_from_placement`]'s plan.
+///
+/// # Panics
+///
+/// Panics if the placement covers no objects.
+pub fn suggested_halo(placement: &Placement) -> usize {
+    let smallest = shards_from_placement(placement)
+        .iter()
+        .map(Vec::len)
+        .min()
+        .expect("placement covers at least one object");
+    (smallest / 8).max(1)
 }
 
 /// Runs the virtual cluster on the *real* workload of `table` under
@@ -173,6 +201,44 @@ mod tests {
         let distinct: std::collections::HashSet<_> = result.labels().iter().collect();
         assert_eq!(distinct.len(), 4, "CAME must deliver the sought k clusters");
         assert_eq!(result.labels(), fit().labels(), "sharded fits are deterministic");
+    }
+
+    #[test]
+    fn suggested_halo_tracks_the_smallest_shard() {
+        let placement = Placement {
+            worker_of: vec![0; 40].into_iter().chain(vec![1; 100]).collect(),
+            n_workers: 2,
+        };
+        assert_eq!(suggested_halo(&placement), 5); // 40 / 8
+        let tiny = Placement { worker_of: vec![0, 1, 0, 1], n_workers: 2 };
+        assert_eq!(suggested_halo(&tiny), 1); // floor of 1
+    }
+
+    #[test]
+    fn placement_fit_with_overlap_reconciliation_is_deterministic() {
+        // The adapter's plan plus an OverlapShards policy sized by
+        // suggested_halo: the overlapping replica-merge fit must stay
+        // deterministic and deliver the sought k on the nested suite.
+        use mcdc_core::OverlapShards;
+        let (data, granular) = nested();
+        let placement = GranularPartitioner::new(4).place(&granular);
+        let plan = execution_plan_from_placement(&placement);
+        let halo = suggested_halo(&placement);
+        assert!(halo >= 1);
+        let fit = || {
+            Mcdc::builder()
+                .seed(2)
+                .execution(plan.clone())
+                .reconcile(OverlapShards { halo })
+                .build()
+                .fit(data.table(), 4)
+                .unwrap()
+        };
+        let result = fit();
+        assert_eq!(result.labels().len(), 400);
+        let distinct: std::collections::HashSet<_> = result.labels().iter().collect();
+        assert_eq!(distinct.len(), 4, "CAME must deliver the sought k clusters");
+        assert_eq!(result.labels(), fit().labels(), "overlapping fits are deterministic");
     }
 
     #[test]

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate plus style/lint hygiene. Run from anywhere.
 #
-#   scripts/verify.sh           # build + tests + fmt + clippy
+#   scripts/verify.sh           # build + tests + fmt + clippy + docs
 #
 # The tier-1 gate (ROADMAP.md) is `cargo build --release && cargo test -q`;
-# fmt/clippy keep the tree warning-free so regressions surface immediately.
+# fmt/clippy keep the tree warning-free, and the rustdoc build (warnings
+# denied) + doctests keep the documented API contracts honest, so
+# regressions surface immediately.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,5 +21,11 @@ cargo fmt --check
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "==> cargo test --doc -q"
+cargo test --doc -q
 
 echo "verify: OK"
