@@ -1,24 +1,35 @@
 //! Machine-readable perf baseline for the clustering hot path: times the
-//! MGCPL exploration (serial, mini-batch, and mini-batch + δ-momentum
-//! engines), Γ encoding, and CAME aggregation stages on the
-//! `scaling::syn_n` family ({3k, 10k, 30k} rows by default) and writes
-//! `BENCH_hotpath.json` (stage, engine, n, median wall ms, throughput
-//! rows/s) so future PRs can diff performance without re-deriving a
-//! harness.
+//! MGCPL exploration (eager-serial, lazy-serial, mini-batch, and
+//! mini-batch + δ-momentum engines), Γ encoding, and CAME aggregation
+//! (eager and lazy) on the `scaling::syn_n` family ({3k, 10k, 30k} rows by
+//! default) and writes `BENCH_hotpath.json` (stage, engine, n, median wall
+//! ms, throughput rows/s, plus — for the lazy rows — the pruning and
+//! workspace counters: rescans skipped by the convergence-aware lazy
+//! scoring and workspace buffer growths per pass) so future PRs can diff
+//! performance without re-deriving a harness.
 //!
-//! The MGCPL engine runs are *interleaved* (serial rep, mini-batch rep,
-//! momentum rep, serial rep, …) so neighbor-load drift on the shared-vCPU
-//! build hosts hits every engine alike and the medians stay comparable —
-//! which is what makes the reconciliation-policy column directly
-//! comparable to the PR-2 baseline rows.
+//! The MGCPL engine runs are *interleaved* (eager rep, lazy rep,
+//! mini-batch rep, momentum rep, eager rep, …) so neighbor-load drift on
+//! the shared-vCPU build hosts hits every engine alike and the medians
+//! stay comparable — which is what makes the lazy column directly
+//! comparable to the eager baseline rows. The lazy rows run through a
+//! persistent [`Workspace`], so their `allocations_per_pass` reflects the
+//! warm steady state a long-lived service sees.
 //!
 //! Usage: `cargo run --release -p mcdc-bench --bin hotpath_snapshot
-//!        [--out PATH] [--seed N] [--sizes a,b,c]`
+//!        [--out PATH] [--seed N] [--sizes a,b,c] [--quick]`
+//!
+//! `--quick` is the CI perf-smoke mode (`scripts/verify.sh`): n = 10k
+//! only, writes to `target/hotpath_quick.json` unless `--out` is given,
+//! and exits non-zero when any median is non-finite/zero (panic/NaN
+//! guard), when `mgcpl_lazy` runs more than 15% slower than
+//! `mgcpl_explore` (the lazy path's engagement gate is supposed to keep
+//! it at worst at parity), or when the lazy fit skipped no rescans.
 
 use std::time::Instant;
 
 use categorical_data::synth::scaling;
-use mcdc_core::{encode_mgcpl, Came, DeltaMomentum, ExecutionPlan, Mgcpl};
+use mcdc_core::{encode_mgcpl, Came, DeltaMomentum, ExecutionPlan, HotPathStats, Mgcpl, Workspace};
 
 struct Entry {
     stage: &'static str,
@@ -26,17 +37,17 @@ struct Entry {
     n: usize,
     median_ms: f64,
     rows_per_s: f64,
+    /// Pruning/workspace counters for lazy rows.
+    stats: Option<HotPathStats>,
 }
-
-/// A named closure timing one pipeline stage under a named engine.
-type Stage<'a> = (&'static str, &'static str, Box<dyn Fn() + 'a>);
 
 fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     samples[samples.len() / 2]
 }
 
-fn time_ms(run: impl Fn()) -> f64 {
+fn time_ms(run: impl FnMut()) -> f64 {
+    let mut run = run;
     let start = Instant::now();
     run();
     start.elapsed().as_secs_f64() * 1e3
@@ -47,13 +58,23 @@ fn main() {
     let mut entries: Vec<Entry> = Vec::new();
 
     println!(
-        "{:<18} {:>10} {:>8} {:>6} {:>12} {:>14}",
-        "stage", "engine", "n", "reps", "median ms", "rows/s"
+        "{:<18} {:>10} {:>8} {:>6} {:>12} {:>14} {:>10} {:>12}",
+        "stage", "engine", "n", "reps", "median ms", "rows/s", "skipped", "allocs/pass"
     );
-    let mut push = |stage: &'static str, engine: &'static str, n: usize, reps: usize, ms: f64| {
+    let mut push = |stage: &'static str,
+                    engine: &'static str,
+                    n: usize,
+                    reps: usize,
+                    ms: f64,
+                    stats: Option<HotPathStats>| {
         let rows_per_s = n as f64 / (ms / 1e3);
-        println!("{stage:<18} {engine:>10} {n:>8} {reps:>6} {ms:>12.3} {rows_per_s:>14.0}");
-        entries.push(Entry { stage, engine, n, median_ms: ms, rows_per_s });
+        let (skipped, apg) = stats.map_or((String::from("-"), String::from("-")), |s| {
+            (s.skipped_rescans.to_string(), format!("{:.2}", s.allocations_per_pass()))
+        });
+        println!(
+            "{stage:<18} {engine:>10} {n:>8} {reps:>6} {ms:>12.3} {rows_per_s:>14.0} {skipped:>10} {apg:>12}"
+        );
+        entries.push(Entry { stage, engine, n, median_ms: ms, rows_per_s, stats });
     };
 
     for &n in &args.sizes {
@@ -66,7 +87,8 @@ fn main() {
             3
         };
         let data = scaling::syn_n(n, args.seed);
-        let serial = Mgcpl::builder().seed(1).build();
+        let eager = Mgcpl::builder().seed(1).lazy_scoring(false).build();
+        let lazy = Mgcpl::builder().seed(1).build();
         // Four shards: enough replicas to exercise the merge machinery
         // without drowning a single-core host in clone overhead.
         let minibatch =
@@ -81,17 +103,31 @@ fn main() {
             .reconcile(DeltaMomentum { beta: 0.5 })
             .build();
 
-        let explored = serial.fit(data.table()).expect("synthetic data fits");
+        // One persistent workspace per lazy learner: the timed lazy reps
+        // (and the CAME lazy reps below) run warm, which is both the
+        // realistic service configuration and what keeps
+        // `allocations_per_pass` at its steady-state value.
+        let mut lazy_ws = Workspace::new();
+        let mut came_ws = Workspace::new();
+
+        let explored = eager.fit(data.table()).expect("synthetic data fits");
         let encoding = encode_mgcpl(&explored).expect("Gamma is encodable");
 
         // Interleaved engine reps: alternating samples see the same
         // neighbor load, so their medians stay comparable.
-        let mut serial_samples = Vec::with_capacity(reps);
+        let mut eager_samples = Vec::with_capacity(reps);
+        let mut lazy_samples = Vec::with_capacity(reps);
         let mut minibatch_samples = Vec::with_capacity(reps);
         let mut momentum_samples = Vec::with_capacity(reps);
+        let mut lazy_stats = HotPathStats::default();
         for _ in 0..reps {
-            serial_samples.push(time_ms(|| {
-                std::hint::black_box(serial.fit(data.table()).expect("fit succeeds"));
+            eager_samples.push(time_ms(|| {
+                std::hint::black_box(eager.fit(data.table()).expect("fit succeeds"));
+            }));
+            lazy_samples.push(time_ms(|| {
+                let result = lazy.fit_with(data.table(), &mut lazy_ws).expect("fit succeeds");
+                lazy_stats = result.stats;
+                std::hint::black_box(result);
             }));
             minibatch_samples.push(time_ms(|| {
                 std::hint::black_box(minibatch.fit(data.table()).expect("fit succeeds"));
@@ -100,40 +136,92 @@ fn main() {
                 std::hint::black_box(momentum.fit(data.table()).expect("fit succeeds"));
             }));
         }
-        push("mgcpl_explore", "serial", n, reps, median(serial_samples));
-        push("mgcpl_minibatch", "minibatch", n, reps, median(minibatch_samples));
-        push("mgcpl_momentum", "momentum", n, reps, median(momentum_samples));
+        push("mgcpl_explore", "serial", n, reps, median(eager_samples), None);
+        push("mgcpl_lazy", "lazy", n, reps, median(lazy_samples), Some(lazy_stats));
+        push("mgcpl_minibatch", "minibatch", n, reps, median(minibatch_samples), None);
+        push("mgcpl_momentum", "momentum", n, reps, median(momentum_samples), None);
 
-        let stages: Vec<Stage> = vec![
-            (
-                "encode_gamma",
-                "serial",
-                Box::new(|| {
+        let encode_samples: Vec<f64> = (0..reps)
+            .map(|_| {
+                time_ms(|| {
                     std::hint::black_box(encode_mgcpl(&explored).expect("encodable"));
-                }),
-            ),
-            (
-                // The default CAME builder enables the chunked-parallel
-                // paths (exact, so only throughput differs) — label the
-                // entry with the engine that actually runs.
-                "came_aggregate",
-                "parallel",
-                Box::new(|| {
-                    std::hint::black_box(
-                        Came::builder().build().fit(&encoding, 3).expect("fit succeeds"),
-                    );
-                }),
-            ),
-        ];
-        for (stage, engine, run) in stages {
-            let samples: Vec<f64> = (0..reps).map(|_| time_ms(&run)).collect();
-            push(stage, engine, n, reps, median(samples));
+                })
+            })
+            .collect();
+        push("encode_gamma", "serial", n, reps, median(encode_samples), None);
+
+        // CAME eager vs lazy, interleaved like the MGCPL engines. The
+        // default builder enables the chunked-parallel paths (exact, so
+        // only throughput differs) — on one-worker pools both fall back
+        // to the serial sweep.
+        let came_eager = Came::builder().lazy_scoring(false).build();
+        let came_lazy = Came::builder().build();
+        let mut came_eager_samples = Vec::with_capacity(reps);
+        let mut came_lazy_samples = Vec::with_capacity(reps);
+        let mut came_stats = HotPathStats::default();
+        for _ in 0..reps {
+            came_eager_samples.push(time_ms(|| {
+                std::hint::black_box(came_eager.fit(&encoding, 3).expect("fit succeeds"));
+            }));
+            came_lazy_samples.push(time_ms(|| {
+                let result = came_lazy.fit_with(&encoding, 3, &mut came_ws).expect("fit succeeds");
+                came_stats = *result.stats();
+                std::hint::black_box(result);
+            }));
         }
+        push("came_aggregate", "eager", n, reps, median(came_eager_samples), None);
+        push("came_lazy", "lazy", n, reps, median(came_lazy_samples), Some(came_stats));
     }
 
     let json = render_json(&entries, args.seed);
-    std::fs::write(&args.out, json).expect("write BENCH_hotpath.json");
+    std::fs::write(&args.out, json).expect("write hotpath snapshot json");
     println!("\nwrote {}", args.out);
+
+    if args.quick {
+        smoke_check(&entries);
+    }
+}
+
+/// The `--quick` gate: fail loudly (exit 1) on NaN/zero medians, on the
+/// lazy MGCPL row losing to the eager baseline beyond noise tolerance, or
+/// on the pruning never firing.
+fn smoke_check(entries: &[Entry]) {
+    let mut failures: Vec<String> = Vec::new();
+    for e in entries {
+        if !e.median_ms.is_finite() || e.median_ms <= 0.0 {
+            failures.push(format!(
+                "{} ({}, n={}) has degenerate median {}",
+                e.stage, e.engine, e.n, e.median_ms
+            ));
+        }
+    }
+    let median_of = |stage: &str, n: usize| {
+        entries.iter().find(|e| e.stage == stage && e.n == n).map(|e| (e.median_ms, e.stats))
+    };
+    const SMOKE_N: usize = 10_000;
+    const NOISE_TOLERANCE: f64 = 1.15;
+    match (median_of("mgcpl_explore", SMOKE_N), median_of("mgcpl_lazy", SMOKE_N)) {
+        (Some((explore, _)), Some((lazy, stats))) => {
+            if lazy > explore * NOISE_TOLERANCE {
+                failures.push(format!(
+                    "mgcpl_lazy median {lazy:.3} ms exceeds mgcpl_explore {explore:.3} ms \
+                     beyond the {NOISE_TOLERANCE}x noise tolerance"
+                ));
+            }
+            if stats.is_none_or(|s| s.skipped_rescans == 0) {
+                failures.push("mgcpl_lazy skipped no rescans — the pruning never fired".into());
+            }
+        }
+        _ => failures.push(format!("smoke rows missing at n = {SMOKE_N}")),
+    }
+    if failures.is_empty() {
+        println!("perf smoke: OK");
+    } else {
+        for failure in &failures {
+            eprintln!("perf smoke FAILED: {failure}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Hand-rolled JSON (the workspace has no serde_json; every value here is a
@@ -145,13 +233,22 @@ fn render_json(entries: &[Entry], seed: u64) -> String {
     out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
+        let counters = e.stats.map_or(String::new(), |s| {
+            format!(
+                ", \"skipped_rescans\": {}, \"full_rescans\": {}, \"allocations_per_pass\": {:.3}",
+                s.skipped_rescans,
+                s.full_rescans,
+                s.allocations_per_pass()
+            )
+        });
         out.push_str(&format!(
-            "    {{\"stage\": \"{}\", \"engine\": \"{}\", \"n\": {}, \"median_ms\": {:.3}, \"rows_per_s\": {:.0}}}{}\n",
+            "    {{\"stage\": \"{}\", \"engine\": \"{}\", \"n\": {}, \"median_ms\": {:.3}, \"rows_per_s\": {:.0}{}}}{}\n",
             e.stage,
             e.engine,
             e.n,
             e.median_ms,
             e.rows_per_s,
+            counters,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
@@ -163,15 +260,13 @@ struct Args {
     out: String,
     seed: u64,
     sizes: Vec<usize>,
+    quick: bool,
 }
 
 impl Args {
     fn parse() -> Args {
-        let mut args = Args {
-            out: "BENCH_hotpath.json".to_owned(),
-            seed: 7,
-            sizes: vec![3_000, 10_000, 30_000],
-        };
+        let mut args =
+            Args { out: String::new(), seed: 7, sizes: vec![3_000, 10_000, 30_000], quick: false };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -185,8 +280,19 @@ impl Args {
                         .map(|s| s.trim().parse().expect("numeric size"))
                         .collect();
                 }
-                other => panic!("unknown flag {other}; use --out, --seed, --sizes"),
+                "--quick" => {
+                    args.quick = true;
+                    args.sizes = vec![10_000];
+                }
+                other => panic!("unknown flag {other}; use --out, --seed, --sizes, --quick"),
             }
+        }
+        if args.out.is_empty() {
+            args.out = if args.quick {
+                "target/hotpath_quick.json".to_owned()
+            } else {
+                "BENCH_hotpath.json".to_owned()
+            };
         }
         args
     }

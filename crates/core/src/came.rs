@@ -22,7 +22,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
-use crate::{ExecutionPlan, McdcError};
+use crate::workspace::{copy_into, resize_tracked, CameScratch, LAZY_SLACK};
+use crate::{ExecutionPlan, HotPathStats, McdcError, Workspace};
 
 /// Row count below which the parallel paths are not worth the fork/join
 /// (the shim thread pool spawns scoped threads per call, so the crossover
@@ -67,6 +68,8 @@ pub struct Came {
     init: CameInit,
     seed: u64,
     parallel: bool,
+    lazy_scoring: bool,
+    force_chunking: bool,
 }
 
 /// Builder for [`Came`].
@@ -77,6 +80,8 @@ pub struct CameBuilder {
     init: CameInit,
     seed: u64,
     parallel: bool,
+    lazy_scoring: bool,
+    force_chunking: bool,
 }
 
 impl Default for CameBuilder {
@@ -87,6 +92,8 @@ impl Default for CameBuilder {
             init: CameInit::default(),
             seed: 0,
             parallel: true,
+            lazy_scoring: true,
+            force_chunking: false,
         }
     }
 }
@@ -114,6 +121,31 @@ impl CameBuilder {
     /// Seeds the random fallback initialization.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Toggles dirty-cluster lazy rescoring (on by default; see `DESIGN.md`
+    /// §3 "Lazy scoring"). Modes and θ are frozen within a Step-1
+    /// iteration, so each row carries its winner margin (second-best −
+    /// best θ-Hamming distance) across iterations; a row is rescanned only
+    /// when the accumulated mode/θ drift could overturn that margin. The
+    /// skip is exact — labels are bit-for-bit those of eager scanning —
+    /// because the per-cluster drift bound (`Σ_r |Δθ_r|` plus
+    /// `Σ_{r: mode changed} max(θ_r, θ_r')`) majorizes every possible
+    /// distance movement. `false` forces the full `n×k` scan per
+    /// iteration.
+    pub fn lazy_scoring(mut self, on: bool) -> Self {
+        self.lazy_scoring = on;
+        self
+    }
+
+    /// Test hook: runs the chunked-parallel paths even when the rayon pool
+    /// has a single worker (where `fit` otherwise falls back to the serial
+    /// sweep, DESIGN.md §3). Lets single-core CI keep exercising the
+    /// chunk-boundary bookkeeping.
+    #[doc(hidden)]
+    pub fn force_chunking(mut self, on: bool) -> Self {
+        self.force_chunking = on;
         self
     }
 
@@ -178,17 +210,33 @@ impl CameBuilder {
             init: self.init,
             seed: self.seed,
             parallel: self.parallel,
+            lazy_scoring: self.lazy_scoring,
+            force_chunking: self.force_chunking,
         }
     }
 }
 
 /// Output of one CAME run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CameResult {
     labels: Vec<usize>,
     theta: Vec<f64>,
     modes: Vec<Vec<u32>>,
     iterations: usize,
+    stats: HotPathStats,
+}
+
+// Equality is semantic (labels, θ, modes, iterations): lazy and eager runs
+// of the same aggregation count rescans differently but compute the same
+// result, and the serial ≡ parallel pins compare the computation, not the
+// counters.
+impl PartialEq for CameResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels == other.labels
+            && self.theta == other.theta
+            && self.modes == other.modes
+            && self.iterations == other.iterations
+    }
 }
 
 impl CameResult {
@@ -210,6 +258,12 @@ impl CameResult {
     /// Alternating-minimization iterations used.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Hot-path counters: rows rescanned vs skipped by the dirty-cluster
+    /// tracking, iterations as `passes`. Excluded from equality.
+    pub fn stats(&self) -> &HotPathStats {
+        &self.stats
     }
 }
 
@@ -258,6 +312,23 @@ impl Came {
     /// Returns [`McdcError::EmptyInput`] for an empty encoding and
     /// [`McdcError::InvalidK`] when `k` is zero or exceeds `n`.
     pub fn fit(&self, encoding: &CategoricalTable, k: usize) -> Result<CameResult, McdcError> {
+        self.fit_with(encoding, k, &mut Workspace::new())
+    }
+
+    /// [`fit`](Self::fit) against a caller-provided [`Workspace`]: the
+    /// margin cache, drift vectors, and Step-2 count buffers are checked
+    /// out of `ws` and left grown for the next fit. Results are identical
+    /// to [`fit`](Self::fit).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`fit`](Self::fit).
+    pub fn fit_with(
+        &self,
+        encoding: &CategoricalTable,
+        k: usize,
+        ws: &mut Workspace,
+    ) -> Result<CameResult, McdcError> {
         let n = encoding.n_rows();
         if n == 0 {
             return Err(McdcError::EmptyInput);
@@ -269,26 +340,77 @@ impl Came {
         let layout = encoding.schema().csr_layout();
         let mut theta = vec![1.0 / sigma as f64; sigma];
         let mut modes = ModeMatrix::from_rows(self.initial_modes(encoding, k), sigma);
-        // Gate on size only, not thread count: the chunked path is exercised
-        // (and its chunk-boundary bookkeeping tested) even on one thread,
-        // where it degenerates to the serial sweep plus negligible overhead.
-        let parallel = self.parallel && n >= PARALLEL_MIN_ROWS;
+        // The chunk machinery costs ~5% on a one-worker pool for zero
+        // upside (DESIGN.md §3), so single-thread pools take the serial
+        // sweep; the hidden `force_chunking` hook keeps the chunk-boundary
+        // bookkeeping exercised on single-core CI. Both paths are exact,
+        // so the gate never changes results.
+        let parallel = self.parallel
+            && n >= PARALLEL_MIN_ROWS
+            && (rayon::current_num_threads() > 1 || self.force_chunking);
+        let lazy = self.lazy_scoring;
+
+        let mut stats = HotPathStats::default();
+        let alloc_start = ws.allocs;
+        let Workspace { came: scratch, allocs, .. } = ws;
+        resize_tracked(&mut scratch.margins, n, f64::NEG_INFINITY, allocs);
+        scratch.margins.fill(f64::NEG_INFINITY);
+        resize_tracked(&mut scratch.drift, k, 0.0, allocs);
+        resize_tracked(&mut scratch.decay, k, 0.0, allocs);
+        scratch.prev_modes.clear();
+        scratch.prev_theta.clear();
 
         let mut labels = vec![usize::MAX; n];
         let mut iterations = 0;
+        let mut have_prev = false;
         for _ in 0..self.max_iterations {
             iterations += 1;
             // Step 1: fix Θ and Z, recompute the partition Q (Eq. 20).
-            let changed = assign_labels(encoding, &modes, &theta, &mut labels, parallel);
+            // After the first iteration the per-cluster drift bound tells
+            // which rows' cached margins still prove their winner; only the
+            // rest rescan against all k modes.
+            if lazy && have_prev {
+                compute_decay(scratch, &modes, &theta, k);
+            }
+            let decay: Option<&[f64]> =
+                if lazy && have_prev { Some(&scratch.decay[..k]) } else { None };
+            let (changed, full, skipped) = assign_labels(
+                encoding,
+                &modes,
+                &theta,
+                &mut labels,
+                &mut scratch.margins,
+                decay,
+                lazy,
+                parallel,
+            );
+            stats.full_rescans += full;
+            stats.skipped_rescans += skipped;
 
             // Re-seed emptied clusters on the objects farthest from their
             // current mode so the sought k is always delivered.
-            reseed_empty_clusters(encoding, &mut labels, k, &theta, &modes);
+            reseed_empty_clusters(encoding, &mut labels, k, &theta, &modes, &mut scratch.margins);
 
             // Step 2: fix Q, update modes Z and feature weights Θ (Eqs. 21–22).
-            modes = modes_of_matrix(encoding, &layout, &labels, k, parallel);
+            // The (Z, Θ) the assignment above used become the drift
+            // reference for the next iteration's skip test.
+            if lazy {
+                copy_into(&mut scratch.prev_modes, &modes.data, allocs);
+                copy_into(&mut scratch.prev_theta, &theta, allocs);
+                have_prev = true;
+            }
+            modes = modes_of_matrix(
+                encoding,
+                &layout,
+                &labels,
+                k,
+                parallel,
+                &mut scratch.counts,
+                allocs,
+            );
             if self.weighted {
-                theta = update_theta(encoding, &labels, &modes, parallel);
+                theta =
+                    update_theta(encoding, &labels, &modes, parallel, &mut scratch.intra, allocs);
             }
 
             if !changed {
@@ -296,7 +418,9 @@ impl Came {
             }
         }
 
-        Ok(CameResult { labels, theta, modes: modes.into_rows(), iterations })
+        stats.passes = iterations as u64;
+        stats.allocations = *allocs - alloc_start;
+        Ok(CameResult { labels, theta, modes: modes.into_rows(), iterations, stats })
     }
 
     /// Picks initial modes per the configured strategy.
@@ -340,44 +464,189 @@ fn nearest_mode(row: &[u32], modes: &ModeMatrix, theta: &[f64]) -> usize {
     best
 }
 
+/// [`nearest_mode`] extended with the winner margin (second-best − best
+/// distance; `+∞` with a single mode). The winner selection runs the
+/// identical strict-`<` comparison sequence, so the verdict is bit-for-bit
+/// [`nearest_mode`]'s.
+fn nearest_mode_margin(row: &[u32], modes: &ModeMatrix, theta: &[f64]) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_dist = f64::INFINITY;
+    let mut second_dist = f64::INFINITY;
+    for l in 0..modes.k() {
+        let dist = weighted_hamming(row, modes.row(l), theta);
+        if dist < best_dist {
+            second_dist = best_dist;
+            best_dist = dist;
+            best = l;
+        } else if dist < second_dist {
+            second_dist = dist;
+        }
+    }
+    (best, second_dist - best_dist)
+}
+
+/// Per-cluster skip thresholds for one Step-1 iteration (DESIGN.md §3
+/// "Lazy scoring"): cluster `l`'s distance to any row can have moved by at
+/// most `drift[l] = Σ_r |Δθ_r| + Σ_{r: mode_l changed} max(θ_r, θ'_r)`
+/// since the previous iteration (θ-term for features whose mismatch
+/// indicator is unchanged, worst-case term where the mode row moved), so a
+/// cached margin survives iff it exceeds `decay[l] = drift[l] +
+/// max_{l'≠l} drift[l']` — the winner drifting up while the best other
+/// cluster drifts down.
+fn compute_decay(scratch: &mut CameScratch, modes: &ModeMatrix, theta: &[f64], k: usize) {
+    let sigma = modes.sigma;
+    let t_theta: f64 = theta.iter().zip(&scratch.prev_theta).map(|(&a, &b)| (a - b).abs()).sum();
+    for l in 0..k {
+        let old_mode = &scratch.prev_modes[l * sigma..(l + 1) * sigma];
+        let mut moved = t_theta;
+        for (r, (&new, &old)) in modes.row(l).iter().zip(old_mode).enumerate() {
+            if new != old {
+                moved += theta[r].max(scratch.prev_theta[r]);
+            }
+        }
+        scratch.drift[l] = moved;
+    }
+    let mut max = f64::NEG_INFINITY;
+    let mut argmax = usize::MAX;
+    let mut second = f64::NEG_INFINITY;
+    for (l, &d) in scratch.drift[..k].iter().enumerate() {
+        if d > max {
+            second = max;
+            max = d;
+            argmax = l;
+        } else if d > second {
+            second = d;
+        }
+    }
+    for l in 0..k {
+        let other = if l == argmax { second } else { max };
+        scratch.decay[l] = scratch.drift[l] + if other == f64::NEG_INFINITY { 0.0 } else { other };
+    }
+}
+
+/// One row of Step 1: skip on a surviving margin (decaying it by the
+/// proven bound), full rescan otherwise.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn assign_row(
+    row: &[u32],
+    modes: &ModeMatrix,
+    theta: &[f64],
+    label: &mut usize,
+    margin: &mut f64,
+    decay: Option<&[f64]>,
+    lazy: bool,
+    changed: &mut bool,
+    full: &mut u64,
+    skipped: &mut u64,
+) {
+    if let Some(decay) = decay {
+        let l = *label;
+        if l != usize::MAX && *margin > decay[l] + LAZY_SLACK {
+            // The cached winner provably still wins strictly; its label —
+            // and therefore the `changed` flag — are exactly what the full
+            // rescan would produce. The margin shrinks by the worst-case
+            // movement so later iterations keep an honest bound.
+            *margin -= decay[l];
+            *skipped += 1;
+            return;
+        }
+    }
+    *full += 1;
+    if lazy {
+        let (best, fresh_margin) = nearest_mode_margin(row, modes, theta);
+        if *label != best {
+            *label = best;
+            *changed = true;
+        }
+        *margin = fresh_margin;
+    } else {
+        let best = nearest_mode(row, modes, theta);
+        if *label != best {
+            *label = best;
+            *changed = true;
+        }
+    }
+}
+
 /// Step 1: recomputes every object's nearest mode, returning whether any
-/// label changed. The parallel path chunks rows and is bit-identical to the
-/// serial one (the per-row computation is independent and deterministic).
+/// label changed plus the (rescanned, skipped) row counts. The parallel
+/// path chunks the label/margin slices in place and is bit-identical to
+/// the serial one (the per-row computation is independent and
+/// deterministic); chunk buffers live in the caller's slices, so the
+/// iteration allocates only the chunk work list.
+#[allow(clippy::too_many_arguments)]
 fn assign_labels(
     encoding: &CategoricalTable,
     modes: &ModeMatrix,
     theta: &[f64],
     labels: &mut [usize],
+    margins: &mut [f64],
+    decay: Option<&[f64]>,
+    lazy: bool,
     parallel: bool,
-) -> bool {
+) -> (bool, u64, u64) {
     let n = encoding.n_rows();
-    let sigma = encoding.n_features();
+    debug_assert_eq!(labels.len(), n);
+    debug_assert_eq!(margins.len(), n);
     let mut changed = false;
+    let mut full = 0u64;
+    let mut skipped = 0u64;
     if parallel {
         let rows_per_chunk = chunk_rows(n);
-        let fresh: Vec<Vec<usize>> = encoding
-            .as_flat()
-            .par_chunks(rows_per_chunk * sigma)
-            .map(|block| {
-                block.chunks_exact(sigma).map(|row| nearest_mode(row, modes, theta)).collect()
+        let work: Vec<(usize, &mut [usize], &mut [f64])> = labels
+            .chunks_mut(rows_per_chunk)
+            .zip(margins.chunks_mut(rows_per_chunk))
+            .enumerate()
+            .map(|(c, (label_chunk, margin_chunk))| (c * rows_per_chunk, label_chunk, margin_chunk))
+            .collect();
+        let outcomes: Vec<(bool, u64, u64)> = work
+            .into_par_iter()
+            .map(|(start, label_chunk, margin_chunk)| {
+                let mut changed = false;
+                let mut full = 0u64;
+                let mut skipped = 0u64;
+                for (offset, (label, margin)) in
+                    label_chunk.iter_mut().zip(margin_chunk.iter_mut()).enumerate()
+                {
+                    assign_row(
+                        encoding.row(start + offset),
+                        modes,
+                        theta,
+                        label,
+                        margin,
+                        decay,
+                        lazy,
+                        &mut changed,
+                        &mut full,
+                        &mut skipped,
+                    );
+                }
+                (changed, full, skipped)
             })
             .collect();
-        for (slot, new) in labels.iter_mut().zip(fresh.into_iter().flatten()) {
-            if *slot != new {
-                *slot = new;
-                changed = true;
-            }
+        for (chunk_changed, chunk_full, chunk_skipped) in outcomes {
+            changed |= chunk_changed;
+            full += chunk_full;
+            skipped += chunk_skipped;
         }
     } else {
-        for (i, slot) in labels.iter_mut().enumerate() {
-            let new = nearest_mode(encoding.row(i), modes, theta);
-            if *slot != new {
-                *slot = new;
-                changed = true;
-            }
+        for (i, (label, margin)) in labels.iter_mut().zip(margins.iter_mut()).enumerate() {
+            assign_row(
+                encoding.row(i),
+                modes,
+                theta,
+                label,
+                margin,
+                decay,
+                lazy,
+                &mut changed,
+                &mut full,
+                &mut skipped,
+            );
         }
     }
-    changed
+    (changed, full, skipped)
 }
 
 /// Chunk granularity for the parallel paths: a handful of chunks per worker
@@ -401,20 +670,23 @@ fn label_chunks(labels: &[usize], n: usize) -> Vec<(usize, &[usize])> {
 /// count matrix (`k × total_values` of plain `u32` — modes need counts
 /// only, none of `ClusterProfile`'s similarity caches). The parallel path
 /// accumulates per-chunk matrices and sums them — integer counts make the
-/// merge exact, so the resulting modes equal the sequential ones.
+/// merge exact, so the resulting modes equal the sequential ones. The
+/// serial path counts into the workspace's persistent buffer; the parallel
+/// reduce keeps per-chunk accumulators (inherent to the merge tree).
 fn modes_of_matrix(
     encoding: &CategoricalTable,
     layout: &CsrLayout,
     labels: &[usize],
     k: usize,
     parallel: bool,
+    counts_buf: &mut Vec<u32>,
+    allocs: &mut u64,
 ) -> ModeMatrix {
     let n = encoding.n_rows();
     let sigma = encoding.n_features();
     let total = layout.total_values();
     let offsets = layout.offsets();
-    let count_chunk = |start: usize, chunk: &[usize]| -> Vec<u32> {
-        let mut counts = vec![0u32; k * total];
+    let count_chunk = |counts: &mut [u32], start: usize, chunk: &[usize]| {
         for (offset, &l) in chunk.iter().enumerate() {
             let base = l * total;
             for (r, &code) in encoding.row(start + offset).iter().enumerate() {
@@ -423,12 +695,16 @@ fn modes_of_matrix(
                 }
             }
         }
-        counts
     };
-    let counts: Vec<u32> = if parallel {
-        label_chunks(labels, n)
+    let counts_owned: Vec<u32>;
+    let counts: &[u32] = if parallel {
+        counts_owned = label_chunks(labels, n)
             .into_par_iter()
-            .map(|(start, chunk)| count_chunk(start, chunk))
+            .map(|(start, chunk)| {
+                let mut counts = vec![0u32; k * total];
+                count_chunk(&mut counts, start, chunk);
+                counts
+            })
             .reduce(
                 || vec![0u32; k * total],
                 |mut acc, partial| {
@@ -437,9 +713,13 @@ fn modes_of_matrix(
                     }
                     acc
                 },
-            )
+            );
+        &counts_owned
     } else {
-        count_chunk(0, labels)
+        resize_tracked(counts_buf, k * total, 0, allocs);
+        counts_buf.fill(0);
+        count_chunk(counts_buf, 0, labels);
+        counts_buf
     };
     // Per cluster per feature: most frequent value, ties to the lowest
     // code, empty features to code 0 (same convention as
@@ -462,17 +742,19 @@ fn modes_of_matrix(
 
 /// Feature weight update of Eqs. (21)–(22): θ_r ∝ the number of objects
 /// agreeing with their cluster mode in feature r. Agreement counts are
-/// integers, so the parallel per-chunk accumulation is exact.
+/// integers, so the parallel per-chunk accumulation is exact. The serial
+/// path counts into the workspace's persistent buffer.
 fn update_theta(
     encoding: &CategoricalTable,
     labels: &[usize],
     modes: &ModeMatrix,
     parallel: bool,
+    intra_buf: &mut Vec<u64>,
+    allocs: &mut u64,
 ) -> Vec<f64> {
     let n = encoding.n_rows();
     let sigma = encoding.n_features();
-    let count_chunk = |start: usize, chunk: &[usize]| -> Vec<u64> {
-        let mut intra = vec![0u64; sigma];
+    let count_chunk = |intra: &mut [u64], start: usize, chunk: &[usize]| {
         for (offset, &l) in chunk.iter().enumerate() {
             let row = encoding.row(start + offset);
             let mode = modes.row(l);
@@ -482,12 +764,16 @@ fn update_theta(
                 }
             }
         }
-        intra
     };
-    let intra: Vec<u64> = if parallel {
-        label_chunks(labels, n)
+    let intra_owned: Vec<u64>;
+    let intra: &[u64] = if parallel {
+        intra_owned = label_chunks(labels, n)
             .into_par_iter()
-            .map(|(start, chunk)| count_chunk(start, chunk))
+            .map(|(start, chunk)| {
+                let mut intra = vec![0u64; sigma];
+                count_chunk(&mut intra, start, chunk);
+                intra
+            })
             .reduce(
                 || vec![0u64; sigma],
                 |mut acc, partial| {
@@ -496,9 +782,13 @@ fn update_theta(
                     }
                     acc
                 },
-            )
+            );
+        &intra_owned
     } else {
-        count_chunk(0, labels)
+        resize_tracked(intra_buf, sigma, 0, allocs);
+        intra_buf.fill(0);
+        count_chunk(intra_buf, 0, labels);
+        intra_buf
     };
     let total: u64 = intra.iter().sum();
     if total == 0 {
@@ -566,13 +856,17 @@ fn guiding_granularity(encoding: &CategoricalTable, k: usize) -> Option<usize> {
 }
 
 /// Moves the farthest objects into any emptied cluster so exactly `k`
-/// clusters stay populated.
+/// clusters stay populated. A moved row's cached margin no longer
+/// describes its (forced) label, so it is invalidated — the next Step-1
+/// iteration rescans exactly that row, as the eager sweep effectively
+/// would.
 fn reseed_empty_clusters(
     encoding: &CategoricalTable,
     labels: &mut [usize],
     k: usize,
     theta: &[f64],
     modes: &ModeMatrix,
+    margins: &mut [f64],
 ) {
     let mut sizes = vec![0usize; k];
     for &l in labels.iter() {
@@ -598,6 +892,7 @@ fn reseed_empty_clusters(
             sizes[labels[i]] -= 1;
             labels[i] = l;
             sizes[l] = 1;
+            margins[i] = f64::NEG_INFINITY;
         }
     }
 }

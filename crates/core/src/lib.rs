@@ -21,7 +21,11 @@
 //!   under: [`DeltaAverage`], [`DeltaMomentum`], [`OverlapShards`]
 //!   (DESIGN.md §5);
 //! * [`StreamingMcdc`] — online absorption with drift-triggered re-fits
-//!   over a bounded reservoir.
+//!   over a bounded reservoir;
+//! * [`Workspace`] / [`WorkspacePool`] — reusable pass-scratch arenas:
+//!   `fit_with` runs repeated fits allocation-free once warm, and
+//!   [`HotPathStats`] reports the lazy-scoring pruning rate and workspace
+//!   growth per fit (DESIGN.md §3 "Lazy scoring").
 //!
 //! # Quickstart
 //!
@@ -59,6 +63,7 @@ mod reconcile;
 mod streaming;
 mod trace;
 pub mod weights;
+mod workspace;
 
 pub use ablation::{run_ablation, AblationVariant};
 pub use active::{LabelQuery, LabelingPlan};
@@ -72,4 +77,5 @@ pub use pipeline::{Mcdc, McdcBuilder, McdcResult};
 pub use profile::{score_all, score_all_transposed, ClusterProfile};
 pub use reconcile::{DeltaAverage, DeltaMomentum, OverlapShards, Reconcile, ReconcileDescriptor};
 pub use streaming::{MgcplResultSummary, StreamingMcdc};
-pub use trace::{LearningTrace, StageRecord};
+pub use trace::{HotPathStats, LearningTrace, StageRecord};
+pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};

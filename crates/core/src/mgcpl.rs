@@ -21,10 +21,15 @@ use rayon::prelude::*;
 use categorical_data::{CsrLayout, MISSING};
 
 use crate::execution::ShardMap;
+use crate::profile::score_all_transposed_capped;
 use crate::weights::feature_weights_into;
+use crate::workspace::{
+    copy_into, note_growth, resize_tracked, LazyCache, MgcplScratch, ReplicaSlot,
+    ReplicatedScratch, Workspace,
+};
 use crate::{
-    score_all_transposed, ClusterProfile, DeltaAverage, ExecutionPlan, LearningTrace, McdcError,
-    Reconcile, StageRecord,
+    score_all_transposed, ClusterProfile, DeltaAverage, ExecutionPlan, HotPathStats, LearningTrace,
+    McdcError, Reconcile, StageRecord,
 };
 
 /// Configurable MGCPL learner. Construct via [`Mgcpl::builder`].
@@ -53,6 +58,7 @@ pub struct Mgcpl {
     max_stages: usize,
     weighted_similarity: bool,
     random_init: bool,
+    lazy_scoring: bool,
     seed: u64,
     execution: ExecutionPlan,
     reconcile: Arc<dyn Reconcile>,
@@ -69,6 +75,7 @@ impl PartialEq for Mgcpl {
             && self.max_stages == other.max_stages
             && self.weighted_similarity == other.weighted_similarity
             && self.random_init == other.random_init
+            && self.lazy_scoring == other.lazy_scoring
             && self.seed == other.seed
             && self.execution == other.execution
             && self.reconcile.describe() == other.reconcile.describe()
@@ -85,6 +92,7 @@ pub struct MgcplBuilder {
     max_stages: usize,
     weighted_similarity: bool,
     random_init: bool,
+    lazy_scoring: bool,
     seed: u64,
     execution: ExecutionPlan,
     reconcile: Arc<dyn Reconcile>,
@@ -98,6 +106,7 @@ impl PartialEq for MgcplBuilder {
             && self.max_stages == other.max_stages
             && self.weighted_similarity == other.weighted_similarity
             && self.random_init == other.random_init
+            && self.lazy_scoring == other.lazy_scoring
             && self.seed == other.seed
             && self.execution == other.execution
             && self.reconcile.describe() == other.reconcile.describe()
@@ -113,6 +122,7 @@ impl Default for MgcplBuilder {
             max_stages: 64,
             weighted_similarity: true,
             random_init: true,
+            lazy_scoring: true,
             seed: 0,
             execution: ExecutionPlan::Serial,
             reconcile: Arc::new(DeltaAverage),
@@ -165,6 +175,27 @@ impl MgcplBuilder {
     /// known to be overlap-dominated.
     pub fn random_init(mut self, on: bool) -> Self {
         self.random_init = on;
+        self
+    }
+
+    /// Toggles convergence-aware lazy scoring (on by default; see
+    /// `DESIGN.md` §3 "Lazy scoring"). The serial cascade maintains a
+    /// per-cluster *competition cap* — an upper bound on the score any
+    /// object can reach against that cluster — and scores each
+    /// re-presented object by exactly evaluating its prior winner, the
+    /// sweep's rival cursor, and only the clusters whose cap could still
+    /// reach the running runner-up score; everything else is provably
+    /// outside the top two. The pruning is *exact*: winner, rival, and the
+    /// penalty arithmetic are bit-for-bit those of eager scoring, only the
+    /// wall time changes, and a per-pass engagement gate drops back to the
+    /// dense sweep whenever pruning stops landing (churning cascade
+    /// passes), so lazy never runs meaningfully slower than eager.
+    /// Replicated plans currently fall back to eager scoring (the caps
+    /// track the serial cascade's single state line), so the toggle is a
+    /// no-op there. `false` forces eager scoring everywhere — the baseline
+    /// `hotpath_snapshot` measures `mgcpl_lazy` against.
+    pub fn lazy_scoring(mut self, on: bool) -> Self {
+        self.lazy_scoring = on;
         self
     }
 
@@ -229,6 +260,7 @@ impl MgcplBuilder {
             max_stages: self.max_stages,
             weighted_similarity: self.weighted_similarity,
             random_init: self.random_init,
+            lazy_scoring: self.lazy_scoring,
             seed: self.seed,
             execution: self.execution,
             reconcile: self.reconcile,
@@ -237,7 +269,7 @@ impl MgcplBuilder {
 }
 
 /// Multi-granular output of one MGCPL run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct MgcplResult {
     /// The partitions `Γ = {Y₁, …, Y_σ}`, finest first; labels are dense
     /// `0..kappa[j]` per granularity.
@@ -247,7 +279,24 @@ pub struct MgcplResult {
     pub kappa: Vec<usize>,
     /// Per-stage learning trace (Fig. 5).
     pub trace: LearningTrace,
+    /// Hot-path counters (rescans skipped by lazy scoring, workspace
+    /// growth, passes). Excluded from equality: a lazy and an eager run of
+    /// the same fit produce identical partitions but count differently.
+    pub stats: HotPathStats,
 }
+
+// Equality is semantic — partitions, κ, trace — so lazy ≡ eager pins and
+// serial ≡ full-batch pins compare what the algorithm computed, not how
+// many sweeps it took to compute it.
+impl PartialEq for MgcplResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.partitions == other.partitions
+            && self.kappa == other.kappa
+            && self.trace == other.trace
+    }
+}
+
+impl Eq for MgcplResult {}
 
 impl MgcplResult {
     /// The coarsest partition `Y_σ` (what ablation MCDC₃ clusters with).
@@ -271,7 +320,7 @@ fn sigmoid_weight(delta: f64) -> f64 {
 /// [`score_all_transposed`], one flat `k×d` weight matrix) instead of
 /// hopping across per-cluster structs.
 #[derive(Debug, Clone)]
-struct Cohort {
+pub(crate) struct Cohort {
     /// Frequency profiles, one per live cluster.
     profiles: Vec<ClusterProfile>,
     /// Award/penalty accumulators `δ_l`; `u_l` derives via Eq. (11).
@@ -337,6 +386,122 @@ impl Cohort {
         }
     }
 
+    /// [`sync_value_major`](Self::sync_value_major) maintaining the lazy
+    /// cache's per-feature column maxima and competition cap for cluster
+    /// `l` alongside the patch: the maxima are recomputed for exactly the
+    /// features the patch rewrites (the same entries are being scanned
+    /// anyway), so `sim_cap[l]` stays an exact majorant of the live
+    /// column.
+    fn sync_value_major_capped(
+        &mut self,
+        l: usize,
+        row: &[u32],
+        weighted: bool,
+        post_scale: f64,
+        lazy: &mut LazyCache,
+    ) {
+        let d = self.layout.n_features();
+        let k = self.len();
+        let scaled = self.profiles[l].scaled_frequencies();
+        let feature_max = &mut lazy.feature_max[l * d..(l + 1) * d];
+        for (r, &code) in row.iter().enumerate() {
+            if code != MISSING {
+                let w = if weighted { self.omega[l * d + r] } else { 1.0 };
+                let mut fmax = 0.0f64;
+                for i in self.layout.range(r) {
+                    let new = w * scaled[i];
+                    self.value_major[i * k + l] = new;
+                    if new > fmax {
+                        fmax = new;
+                    }
+                }
+                feature_max[r] = fmax;
+            }
+        }
+        lazy.sim_cap[l] = post_scale * feature_max.iter().sum::<f64>();
+    }
+
+    /// [`rebuild_value_major`](Self::rebuild_value_major) additionally
+    /// deriving the lazy cache's per-feature column maxima and per-cluster
+    /// competition caps from the freshly written matrix — one fused sweep,
+    /// once per pass.
+    fn rebuild_value_major_capped(
+        &mut self,
+        weighted: bool,
+        post_scale: f64,
+        lazy: &mut LazyCache,
+        allocs: &mut u64,
+    ) {
+        let d = self.layout.n_features();
+        let k = self.len();
+        let total = self.layout.total_values();
+        resize_tracked(&mut lazy.feature_max, k * d, 0.0, allocs);
+        resize_tracked(&mut lazy.sim_cap, k, 0.0, allocs);
+        self.value_major.clear();
+        self.value_major.resize(total * k, 0.0);
+        for l in 0..k {
+            let scaled = self.profiles[l].scaled_frequencies();
+            let feature_max = &mut lazy.feature_max[l * d..(l + 1) * d];
+            for (r, fmax_slot) in feature_max.iter_mut().enumerate() {
+                let w = if weighted { self.omega[l * d + r] } else { 1.0 };
+                let mut fmax = 0.0f64;
+                for i in self.layout.range(r) {
+                    let new = w * scaled[i];
+                    self.value_major[i * k + l] = new;
+                    if new > fmax {
+                        fmax = new;
+                    }
+                }
+                *fmax_slot = fmax;
+            }
+            lazy.sim_cap[l] = post_scale * feature_max.iter().sum::<f64>();
+        }
+    }
+
+    /// `*self = src.clone()` reusing every buffer whose capacity suffices;
+    /// what replica slots use to refresh their local cohort from the
+    /// pass-start snapshot without the clone-allocate-drop churn. When the
+    /// snapshot has fewer clusters than the previous pass (pruning), the
+    /// excess profiles park in `spares` instead of dropping, so a later
+    /// fit that starts wide again (k₀ ≫ final k) reuses their buffers.
+    pub(crate) fn copy_from(
+        &mut self,
+        src: &Cohort,
+        spares: &mut Vec<ClusterProfile>,
+        allocs: &mut u64,
+    ) {
+        if self.layout != src.layout {
+            *allocs += 1;
+            *self = src.clone();
+            spares.clear();
+            return;
+        }
+        while self.profiles.len() > src.profiles.len() {
+            spares.push(self.profiles.pop().expect("length checked above"));
+        }
+        for (dst, s) in self.profiles.iter_mut().zip(&src.profiles) {
+            dst.copy_from_profile(s);
+        }
+        while self.profiles.len() < src.profiles.len() {
+            let next = self.profiles.len();
+            match spares.pop() {
+                Some(mut spare) => {
+                    spare.copy_from_profile(&src.profiles[next]);
+                    self.profiles.push(spare);
+                }
+                None => {
+                    *allocs += 1;
+                    self.profiles.push(src.profiles[next].clone());
+                }
+            }
+        }
+        copy_into(&mut self.delta, &src.delta, allocs);
+        copy_into(&mut self.wins_prev, &src.wins_prev, allocs);
+        copy_into(&mut self.wins_now, &src.wins_now, allocs);
+        copy_into(&mut self.omega, &src.omega, allocs);
+        copy_into(&mut self.value_major, &src.value_major, allocs);
+    }
+
     /// Re-launch reset (Alg. 1 step 13): keep memberships/profiles, clear
     /// the statistics that drive convergence. The ω-weighted matrix need
     /// not be touched here — `run_stage` rebuilds it at every pass start.
@@ -349,7 +514,9 @@ impl Cohort {
     }
 
     /// Removes empty clusters, compacting every parallel array and the
-    /// `assignment` indices.
+    /// `assignment` indices. (The lazy cache needs no re-mapping: its caps
+    /// and the rival cursor are re-derived/bounds-checked against the
+    /// compacted cohort at the next pass-start rebuild.)
     fn prune_empty(&mut self, assignment: &mut [Option<usize>]) {
         let d = if self.profiles.is_empty() { 0 } else { self.profiles[0].n_features() };
         let k = self.len();
@@ -418,12 +585,50 @@ impl Mgcpl {
     /// [`McdcError::InvalidShards`] if the configured [`ExecutionPlan`]
     /// does not fit `n` rows.
     pub fn fit(&self, table: &CategoricalTable) -> Result<MgcplResult, McdcError> {
+        self.fit_with(table, &mut Workspace::new())
+    }
+
+    /// [`fit`](Self::fit) against a caller-provided [`Workspace`]: all
+    /// pass- and replica-scoped scratch is checked out of `ws` and left
+    /// grown for the next fit, so repeated fits (benchmarks, streaming
+    /// re-fits, servers) run allocation-free once the workspace is warm.
+    /// Results are identical to [`fit`](Self::fit) — the workspace holds
+    /// scratch only, never state that survives into the output.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`fit`](Self::fit).
+    pub fn fit_with(
+        &self,
+        table: &CategoricalTable,
+        ws: &mut Workspace,
+    ) -> Result<MgcplResult, McdcError> {
+        self.fit_inner(table, &self.execution, ws)
+    }
+
+    /// Internal re-fit entry: adapts the configured plan to the table's
+    /// current row count ([`ExecutionPlan::for_rows`]) instead of cloning
+    /// the whole learner — what the streaming reservoir re-fit uses.
+    pub(crate) fn fit_adapted(
+        &self,
+        table: &CategoricalTable,
+        ws: &mut Workspace,
+    ) -> Result<MgcplResult, McdcError> {
+        self.fit_inner(table, &self.execution.for_rows(table.n_rows()), ws)
+    }
+
+    fn fit_inner(
+        &self,
+        table: &CategoricalTable,
+        plan: &ExecutionPlan,
+        ws: &mut Workspace,
+    ) -> Result<MgcplResult, McdcError> {
         let n = table.n_rows();
         if n == 0 {
             return Err(McdcError::EmptyInput);
         }
-        self.execution.validate(n)?;
-        let shard_map = self.execution.shard_map(table, self.reconcile.halo())?;
+        plan.validate(n)?;
+        let shard_map = plan.shard_map(table, self.reconcile.halo())?;
         let d = table.n_features();
         let k0 = match self.initial_k {
             Some(k) => {
@@ -479,6 +684,8 @@ impl Mgcpl {
         let mut partitions: Vec<Vec<usize>> = Vec::new();
         let mut kappa: Vec<usize> = Vec::new();
         let mut trace = LearningTrace { initial_k: k0, stages: Vec::new() };
+        let mut stats = HotPathStats::default();
+        let alloc_start = ws.allocs;
         let mut k_old = clusters.len();
 
         for stage in 1..=self.max_stages {
@@ -490,10 +697,13 @@ impl Mgcpl {
                 &mut assignment,
                 &mut rng,
                 shard_map.as_ref(),
+                ws,
+                &mut stats,
             );
             let k_after = clusters.len();
 
             trace.stages.push(StageRecord { stage, k_before, k_after, inner_iterations });
+            stats.passes += inner_iterations as u64;
 
             let converged = stage > 1 && k_after == k_old;
             if !converged {
@@ -508,7 +718,8 @@ impl Mgcpl {
             clusters.reset_statistics(d);
         }
 
-        Ok(MgcplResult { partitions, kappa, trace })
+        stats.allocations = ws.allocs - alloc_start;
+        Ok(MgcplResult { partitions, kappa, trace, stats })
     }
 
     /// Runs competitive penalization learning until the partition fixpoint,
@@ -528,6 +739,7 @@ impl Mgcpl {
     ///    ([`apply_replicated`](Self::apply_replicated));
     /// 3. **epilogue** — prune emptied clusters, refresh ω (Eqs. 15–18),
     ///    and fold the pass's win counts into the running ρ statistics.
+    #[allow(clippy::too_many_arguments)]
     fn run_stage(
         &self,
         table: &CategoricalTable,
@@ -536,16 +748,36 @@ impl Mgcpl {
         assignment: &mut [Option<usize>],
         rng: &mut ChaCha8Rng,
         shard_map: Option<&ShardMap>,
+        ws: &mut Workspace,
+        stats: &mut HotPathStats,
     ) -> usize {
         let n = table.n_rows();
         let d = table.n_features();
         let mut passes = 0;
-        // Scratch buffers reused across objects to keep the pass allocation-free.
-        let mut accumulators: Vec<f64> = Vec::new();
-        let mut one_minus_rho: Vec<f64> = Vec::new();
-        let mut prefactors: Vec<f64> = Vec::new();
-        let mut decisions: Vec<usize> = Vec::with_capacity(n);
-        let mut order: Vec<usize> = (0..n).collect();
+        // All pass scratch is checked out of the workspace: grown at most
+        // once, reused across passes, stages, and fits.
+        let Workspace { mgcpl: scratch, allocs, .. } = ws;
+        let MgcplScratch {
+            order,
+            one_minus_rho,
+            prefactors,
+            accumulators,
+            decisions,
+            lazy,
+            replicated,
+        } = scratch;
+        // Lazy winner-margin pruning is exact only along the serial
+        // cascade's single drift chain; replicated plans fall back to eager
+        // scoring (see `DESIGN.md` §3 "Lazy scoring").
+        let lazy_on = self.lazy_scoring && shard_map.is_none();
+        note_growth(order, n, allocs);
+        order.clear();
+        order.extend(0..n);
+        if shard_map.is_none() {
+            // `decisions` backs only the serial arm; replicated passes keep
+            // their verdicts in the replica slots.
+            note_growth(decisions, n, allocs);
+        }
 
         for _ in 0..self.max_inner_iterations {
             passes += 1;
@@ -553,42 +785,52 @@ impl Mgcpl {
             // sequential award/penalty cascades don't depend on storage order.
             order.shuffle(rng);
 
+            if lazy_on {
+                lazy.begin_pass();
+            }
             let post_scale = self.snapshot_pass(
                 clusters,
-                &mut one_minus_rho,
-                &mut prefactors,
-                &mut accumulators,
+                one_minus_rho,
+                prefactors,
+                accumulators,
                 d,
+                if lazy_on { Some(lazy) } else { None },
+                allocs,
             );
 
             let mut changed = match shard_map {
                 None => {
                     let changed = self.apply_span(
                         table,
-                        &order,
+                        order,
                         clusters,
                         assignment,
-                        &mut decisions,
+                        decisions,
                         None,
-                        &one_minus_rho,
-                        &mut prefactors,
-                        &mut accumulators,
+                        one_minus_rho,
+                        prefactors,
+                        accumulators,
                         post_scale,
+                        if lazy_on { Some(lazy) } else { None },
+                        stats,
                     );
-                    for (&i, &c) in order.iter().zip(&decisions) {
+                    for (&i, &c) in order.iter().zip(decisions.iter()) {
                         assignment[i] = Some(c);
                     }
                     changed
                 }
                 Some(map) => self.apply_replicated(
                     table,
-                    &order,
+                    order,
                     clusters,
                     assignment,
-                    &one_minus_rho,
-                    &prefactors,
+                    one_minus_rho,
+                    prefactors,
                     post_scale,
                     map,
+                    replicated,
+                    allocs,
+                    stats,
                 ),
             };
 
@@ -633,8 +875,11 @@ impl Mgcpl {
     /// `1 − ρ_l` from the previous passes' win counts (Eq. 7), the hoisted
     /// `(1 − ρ_l)·u_l` prefactors, resets the pass win counters, and
     /// rebuilds the value-major scoring matrix so it reflects this pass's ω
-    /// and any pruning from the previous pass. Returns the post-scale that
-    /// recovers the Eq. (1) mean from the raw sweep sums.
+    /// and any pruning from the previous pass — fused, under lazy scoring,
+    /// with the derivation of the per-cluster competition caps
+    /// (DESIGN.md §3 "Lazy scoring"). Returns the post-scale that recovers
+    /// the Eq. (1) mean from the raw sweep sums.
+    #[allow(clippy::too_many_arguments)]
     fn snapshot_pass(
         &self,
         clusters: &mut Cohort,
@@ -642,10 +887,13 @@ impl Mgcpl {
         prefactors: &mut Vec<f64>,
         accumulators: &mut Vec<f64>,
         d: usize,
+        lazy: Option<&mut LazyCache>,
+        allocs: &mut u64,
     ) -> f64 {
         let total_prev: u64 = clusters.wins_prev.iter().sum();
         clusters.wins_now.fill(0);
         let k = clusters.len();
+        note_growth(one_minus_rho, k, allocs);
         one_minus_rho.clear();
         one_minus_rho.extend(clusters.wins_prev.iter().map(|&w| {
             if total_prev == 0 {
@@ -654,18 +902,21 @@ impl Mgcpl {
                 1.0 - w as f64 / total_prev as f64
             }
         }));
+        note_growth(prefactors, k, allocs);
         prefactors.clear();
         prefactors.extend(
             one_minus_rho.iter().zip(&clusters.delta).map(|(&m, &dl)| m * sigmoid_weight(dl)),
         );
-        accumulators.resize(k, 0.0);
+        resize_tracked(accumulators, k, 0.0, allocs);
         let use_weighted = self.weighted_similarity;
-        clusters.rebuild_value_major(use_weighted);
-        if use_weighted {
-            1.0
-        } else {
-            1.0 / d as f64
+        let post_scale = if use_weighted { 1.0 } else { 1.0 / d as f64 };
+        match lazy {
+            Some(lazy) => {
+                clusters.rebuild_value_major_capped(use_weighted, post_scale, lazy, allocs);
+            }
+            None => clusters.rebuild_value_major(use_weighted),
         }
+        post_scale
     }
 
     /// Apply phase over one presentation span: the per-object award/penalty
@@ -690,6 +941,17 @@ impl Mgcpl {
     /// previous passes' win counts), and δ — hence `u` — changes for at
     /// most the winner and the rival per object, so only those two
     /// prefactors (and sigmoids) are recomputed instead of `k` per object.
+    ///
+    /// With `lazy` armed (serial plans; see `DESIGN.md` §3 "Lazy scoring")
+    /// presentations with a prior label route through the candidate-pruned
+    /// sweep instead: [`score_all_transposed_capped`] exactly evaluates the
+    /// prior winner, the rival cursor, and every cluster whose competition
+    /// cap (`prefactor · sim_cap`, maintained by the capped rebuild/sync
+    /// methods) could still reach the running runner-up score — everything
+    /// else provably sits outside the top two, so the verdict and the
+    /// award/penalty arithmetic are bit-for-bit the dense sweep's. The
+    /// per-pass engagement gate ([`LazyCache::should_attempt`]) drops back
+    /// to the dense kernel whenever the pruning stops landing.
     #[allow(clippy::too_many_arguments)]
     fn apply_span(
         &self,
@@ -703,7 +965,12 @@ impl Mgcpl {
         prefactors: &mut [f64],
         accumulators: &mut [f64],
         post_scale: f64,
+        mut lazy: Option<&mut LazyCache>,
+        stats: &mut HotPathStats,
     ) -> bool {
+        // Lazy pruning never coexists with halo confidences: replicated
+        // plans (the only confidence consumers) run eager.
+        debug_assert!(lazy.is_none() || confidences.is_none());
         let eta = self.learning_rate;
         let use_weighted = self.weighted_similarity;
         let mut changed = false;
@@ -713,6 +980,78 @@ impl Mgcpl {
         }
         for &i in order {
             let row = table.row(i);
+
+            let attempt =
+                prior[i].is_some() && lazy.as_deref_mut().is_some_and(|lz| lz.should_attempt());
+            if attempt {
+                let lz = lazy.as_deref_mut().expect("attempt implies lazy");
+                // Candidate-pruned scoring (DESIGN.md §3 "Lazy scoring"):
+                // evaluate the hinted top-2 exactly, then only clusters
+                // whose competition cap could still reach the running
+                // runner-up score. Verdicts — winner, rival, and the
+                // rival's similarity feeding the Eq. (13) penalty — are
+                // bit-identical to the dense sweep's; most columns are
+                // simply never read.
+                let hint_winner = prior[i].expect("gated on Some above");
+                let verdict = score_all_transposed_capped(
+                    row,
+                    clusters.layout.offsets(),
+                    &clusters.value_major,
+                    post_scale,
+                    &clusters.profiles,
+                    use_weighted.then_some(clusters.omega.as_slice()),
+                    prefactors,
+                    &lz.sim_cap,
+                    hint_winner,
+                    lz.rival_cursor as usize,
+                    &mut lz.evaluated,
+                    accumulators,
+                );
+                if verdict.pruned {
+                    stats.skipped_rescans += 1;
+                } else {
+                    stats.full_rescans += 1;
+                }
+                lz.note_attempt(verdict.pruned);
+                let best = verdict.winner;
+                let rival = verdict.rival;
+                if rival != usize::MAX {
+                    lz.rival_cursor = rival as u32;
+                }
+
+                // Assign x_i to the winner (Eq. 4 / Eq. 10), keeping the
+                // patched columns' caps current.
+                let previous = prior[i];
+                if previous != Some(best) {
+                    if let Some(p) = previous {
+                        clusters.profiles[p].remove(row);
+                        clusters.sync_value_major_capped(p, row, use_weighted, post_scale, lz);
+                    }
+                    clusters.profiles[best].add(row);
+                    clusters.sync_value_major_capped(best, row, use_weighted, post_scale, lz);
+                    changed = true;
+                }
+                decisions.push(best);
+                clusters.wins_now[best] += 1;
+
+                // Award/penalty exactly as the dense path below.
+                let awarded = (clusters.delta[best] + eta).min(1.0);
+                if awarded != clusters.delta[best] {
+                    clusters.delta[best] = awarded;
+                    prefactors[best] = one_minus_rho[best] * sigmoid_weight(awarded);
+                }
+                if rival != usize::MAX {
+                    let penalized =
+                        (clusters.delta[rival] - eta * verdict.rival_similarity).max(0.0);
+                    if penalized != clusters.delta[rival] {
+                        clusters.delta[rival] = penalized;
+                        prefactors[rival] = one_minus_rho[rival] * sigmoid_weight(penalized);
+                    }
+                }
+                continue;
+            }
+            stats.full_rescans += 1;
+
             // Score every live cluster — (1 − ρ_l) · u_l · s(x_i, C_l) —
             // and select the winner v (Eq. 6) and the rival h (Eq. 9) in
             // the same fused sweep.
@@ -808,55 +1147,79 @@ impl Mgcpl {
         prefactors: &[f64],
         post_scale: f64,
         map: &ShardMap,
+        rep: &mut ReplicatedScratch,
+        allocs: &mut u64,
+        stats: &mut HotPathStats,
     ) -> bool {
         let k = clusters.len();
         let n = order.len();
         let overlap = map.has_overlap();
-        // Presentation spans: the global shuffle filtered to each replica's
-        // owned-plus-borrowed row set, preserving the shuffled order.
-        let mut spans: Vec<Vec<usize>> = vec![Vec::new(); map.n_shards];
-        for &i in order {
-            spans[map.shard_of[i] as usize].push(i);
-            if overlap {
-                for &s in &map.extra_of[i] {
-                    spans[s as usize].push(i);
-                }
+
+        // One persistent slot per shard: each holds the replica's cohort
+        // clone target, span, verdict buffers, and per-shard profile
+        // rebuild scratch, all reused across passes (and fits).
+        if rep.slots.len() != map.n_shards {
+            note_growth(&rep.slots, map.n_shards, allocs);
+            rep.slots.resize_with(map.n_shards, ReplicaSlot::default);
+            for (s, slot) in rep.slots.iter_mut().enumerate() {
+                slot.index = s;
             }
         }
 
-        struct Replica {
-            rows: Vec<usize>,
-            delta: Vec<f64>,
-            /// Winner per presented row, parallel to `rows`.
-            decisions: Vec<usize>,
-            /// Winner similarity per presented row; empty without overlap.
-            confidences: Vec<f64>,
+        // Presentation spans: the global shuffle filtered to each replica's
+        // owned-plus-borrowed row set, preserving the shuffled order.
+        map.fill_spans(order, &mut rep.spans, allocs);
+        for (slot, span) in rep.slots.iter_mut().zip(rep.spans.iter_mut()) {
+            std::mem::swap(&mut slot.rows, span);
         }
 
-        let layout = clusters.layout.clone();
+        // Replica apply: slots are moved into the rayon workers and
+        // returned, so their buffers never cross threads by reference and
+        // still persist. Each replica refreshes its local cohort from the
+        // frozen pass-start snapshot (`copy_from` reuses the buffers the
+        // previous pass grew) and runs the shared `apply_span`.
         let snapshot: &Cohort = clusters;
         let frozen_assignment: &[Option<usize>] = assignment;
-        let replicas: Vec<Replica> = spans
+        let slots_in = std::mem::take(&mut rep.slots);
+        let slots: Vec<ReplicaSlot> = slots_in
             .into_par_iter()
-            .map(|rows| {
-                let mut local = snapshot.clone();
-                let mut local_prefactors = prefactors.to_vec();
-                let mut accumulators = vec![0.0; k];
-                let mut decisions = Vec::with_capacity(rows.len());
-                let mut confidences = Vec::new();
+            .map(|mut slot| {
+                slot.stats = HotPathStats::default();
+                slot.allocs = 0;
+                match slot.cohort.as_mut() {
+                    Some(cohort) => {
+                        cohort.copy_from(snapshot, &mut slot.spare_profiles, &mut slot.allocs);
+                    }
+                    None => {
+                        slot.allocs += 1;
+                        slot.cohort = Some(snapshot.clone());
+                    }
+                }
+                copy_into(&mut slot.prefactors, prefactors, &mut slot.allocs);
+                resize_tracked(&mut slot.accumulators, k, 0.0, &mut slot.allocs);
+                note_growth(&slot.decisions, slot.rows.len(), &mut slot.allocs);
+                let local = slot.cohort.as_mut().expect("cohort installed above");
+                let mut span_stats = HotPathStats::default();
                 self.apply_span(
                     table,
-                    &rows,
-                    &mut local,
+                    &slot.rows,
+                    local,
                     frozen_assignment,
-                    &mut decisions,
-                    overlap.then_some(&mut confidences),
+                    &mut slot.decisions,
+                    overlap.then_some(&mut slot.confidences),
                     one_minus_rho,
-                    &mut local_prefactors,
-                    &mut accumulators,
+                    &mut slot.prefactors,
+                    &mut slot.accumulators,
                     post_scale,
+                    None,
+                    &mut span_stats,
                 );
-                Replica { rows, delta: local.delta, decisions, confidences }
+                slot.stats = span_stats;
+                let local_delta: &[f64] = &slot.cohort.as_ref().expect("still installed").delta;
+                note_growth(&slot.delta, local_delta.len(), &mut slot.allocs);
+                slot.delta.clear();
+                slot.delta.extend_from_slice(local_delta);
+                slot
             })
             .collect();
 
@@ -864,20 +1227,25 @@ impl Mgcpl {
         // row was presented once, the policy's vote otherwise. Vote buffers
         // are indexed by the shard map's dense halo slots, so their size
         // tracks the overlap (≤ 2·halo·(shards−1) rows), not n.
-        let mut final_of: Vec<usize> = vec![usize::MAX; n];
+        resize_tracked(&mut rep.final_of, n, usize::MAX, allocs);
+        rep.final_of.fill(usize::MAX);
         if overlap {
-            let mut votes: Vec<Vec<(usize, f64)>> = vec![Vec::new(); map.halo_rows.len()];
-            for replica in &replicas {
-                for ((&i, &c), &s) in
-                    replica.rows.iter().zip(&replica.decisions).zip(&replica.confidences)
-                {
+            if rep.votes.len() < map.halo_rows.len() {
+                note_growth(&rep.votes, map.halo_rows.len(), allocs);
+                rep.votes.resize_with(map.halo_rows.len(), Vec::new);
+            }
+            for votes in rep.votes[..map.halo_rows.len()].iter_mut() {
+                votes.clear();
+            }
+            for slot in &slots {
+                for ((&i, &c), &s) in slot.rows.iter().zip(&slot.decisions).zip(&slot.confidences) {
                     match map.vote_slot[i] {
-                        u32::MAX => final_of[i] = c,
-                        slot => votes[slot as usize].push((c, s)),
+                        u32::MAX => rep.final_of[i] = c,
+                        vote_slot => rep.votes[vote_slot as usize].push((c, s)),
                     }
                 }
             }
-            for (&i, row_votes) in map.halo_rows.iter().zip(&votes) {
+            for (&i, row_votes) in map.halo_rows.iter().zip(&rep.votes) {
                 let c = self.reconcile.resolve(row_votes);
                 // `resolve` is a public extension hook: catch a policy that
                 // invents a cluster here, where the policy can be named,
@@ -889,12 +1257,12 @@ impl Mgcpl {
                     self.reconcile.describe(),
                     row_votes,
                 );
-                final_of[i] = c;
+                rep.final_of[i] = c;
             }
         } else {
-            for replica in &replicas {
-                for (&i, &c) in replica.rows.iter().zip(&replica.decisions) {
-                    final_of[i] = c;
+            for slot in &slots {
+                for (&i, &c) in slot.rows.iter().zip(&slot.decisions) {
+                    rep.final_of[i] = c;
                 }
             }
         }
@@ -902,7 +1270,7 @@ impl Mgcpl {
         // Write back memberships; wins count each row's final verdict once.
         let mut changed = false;
         for (i, slot) in assignment.iter_mut().enumerate() {
-            let c = final_of[i];
+            let c = rep.final_of[i];
             if *slot != Some(c) {
                 changed = true;
             }
@@ -911,49 +1279,92 @@ impl Mgcpl {
         }
 
         // Exact profile merge from the final memberships, grouped by owning
-        // shard (bulk deferred-rescale builds, parallel across shards).
-        let shard_profiles: Vec<Vec<ClusterProfile>> = (0..replicas.len())
-            .collect::<Vec<usize>>()
+        // shard (bulk deferred-rescale builds into the slots' persistent
+        // profile buffers, parallel across shards).
+        let layout = &clusters.layout;
+        let final_of: &[usize] = &rep.final_of;
+        let mut slots: Vec<ReplicaSlot> = slots
             .into_par_iter()
-            .map(|s| {
-                let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
-                for &i in &replicas[s].rows {
-                    if map.shard_of[i] as usize == s {
-                        members[final_of[i]].push(i);
+            .map(|mut slot| {
+                if slot.members.len() < k {
+                    note_growth(&slot.members, k, &mut slot.allocs);
+                    slot.members.resize_with(k, Vec::new);
+                }
+                for members in slot.members[..k].iter_mut() {
+                    members.clear();
+                }
+                for &i in &slot.rows {
+                    if map.shard_of[i] as usize == slot.index {
+                        slot.members[final_of[i]].push(i);
                     }
                 }
-                members
-                    .iter()
-                    .map(|m| {
-                        let mut p = ClusterProfile::with_layout(layout.clone());
-                        p.extend_rows(m.iter().map(|&i| table.row(i)));
-                        p
-                    })
-                    .collect()
+                // Per-cluster profiles over the owned rows: reset-and-refill
+                // the persistent buffers (never truncated below the high-water
+                // k, so later stages with fewer clusters don't churn).
+                if slot.profiles.first().is_some_and(|p| p.layout() != layout) {
+                    slot.profiles.clear();
+                }
+                while slot.profiles.len() < k {
+                    slot.allocs += 1;
+                    slot.profiles.push(ClusterProfile::with_layout(layout.clone()));
+                }
+                // Only the first `k` member lists were cleared and filled
+                // above — the high-water tail holds stale rows from wider
+                // passes (or an earlier fit on a bigger table), so the
+                // rebuild must not walk it.
+                for (profile, members) in slot.profiles[..k].iter_mut().zip(&slot.members[..k]) {
+                    profile.reset();
+                    profile.extend_rows(members.iter().map(|&i| table.row(i)));
+                }
+                slot
             })
             .collect();
-        let mut merged: Vec<ClusterProfile> =
-            (0..k).map(|_| ClusterProfile::with_layout(layout.clone())).collect();
-        for profiles in &shard_profiles {
-            for l in 0..k {
-                merged[l].merge(&profiles[l]);
+
+        // Merge into the persistent target, then copy over the cohort's
+        // profiles — state identical to rebuilding them from scratch, since
+        // reset + merge recomputes every cached value from integer counts.
+        if rep.merged.first().is_some_and(|p| p.layout() != layout) {
+            rep.merged.clear();
+        }
+        while rep.merged.len() < k {
+            *allocs += 1;
+            rep.merged.push(ClusterProfile::with_layout(layout.clone()));
+        }
+        for merged in rep.merged[..k].iter_mut() {
+            merged.reset();
+        }
+        for slot in &slots {
+            for (merged, profile) in rep.merged[..k].iter_mut().zip(&slot.profiles) {
+                merged.merge(profile);
             }
         }
-        clusters.profiles = merged;
+        for (profile, merged) in clusters.profiles.iter_mut().zip(&rep.merged) {
+            profile.copy_from_profile(merged);
+        }
 
         // δ consensus: span-size-weighted average, then the policy's blend
         // against the pass-start value.
-        let total_presented: f64 = replicas.iter().map(|r| r.rows.len() as f64).sum();
-        let pass_start = std::mem::take(&mut clusters.delta);
-        let mut blended = vec![0.0; k];
-        for replica in &replicas {
-            let weight = replica.rows.len() as f64 / total_presented;
-            for l in 0..k {
-                blended[l] += weight * replica.delta[l];
+        let total_presented: f64 = slots.iter().map(|s| s.rows.len() as f64).sum();
+        copy_into(&mut rep.pass_start_delta, &clusters.delta, allocs);
+        resize_tracked(&mut rep.blended, k, 0.0, allocs);
+        rep.blended.fill(0.0);
+        for slot in &slots {
+            let weight = slot.rows.len() as f64 / total_presented;
+            for (blended, &delta) in rep.blended.iter_mut().zip(&slot.delta) {
+                *blended += weight * delta;
             }
         }
-        self.reconcile.blend_delta(&pass_start, &mut blended);
-        clusters.delta = blended;
+        self.reconcile.blend_delta(&rep.pass_start_delta, &mut rep.blended);
+        clusters.delta.copy_from_slice(&rep.blended);
+
+        // Fold the worker-local counters back into the fit's totals.
+        for slot in &mut slots {
+            stats.full_rescans += slot.stats.full_rescans;
+            stats.skipped_rescans += slot.stats.skipped_rescans;
+            *allocs += slot.allocs;
+            slot.allocs = 0;
+        }
+        rep.slots = slots;
         changed
     }
 }

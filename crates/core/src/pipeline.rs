@@ -7,7 +7,7 @@ use categorical_data::CategoricalTable;
 
 use crate::{
     encode_mgcpl, Came, CameInit, CameResult, ExecutionPlan, McdcError, Mgcpl, MgcplResult,
-    Reconcile,
+    Reconcile, Workspace,
 };
 
 /// The full MCDC clusterer. Construct via [`Mcdc::builder`].
@@ -44,6 +44,7 @@ pub struct McdcBuilder {
     came_init: Option<CameInit>,
     execution: Option<ExecutionPlan>,
     reconcile: Option<Arc<dyn Reconcile>>,
+    lazy_scoring: Option<bool>,
     seed: u64,
 }
 
@@ -59,6 +60,7 @@ impl PartialEq for McdcBuilder {
             && self.execution == other.execution
             && self.reconcile.as_ref().map(|p| p.describe())
                 == other.reconcile.as_ref().map(|p| p.describe())
+            && self.lazy_scoring == other.lazy_scoring
             && self.seed == other.seed
     }
 }
@@ -128,6 +130,17 @@ impl McdcBuilder {
         self
     }
 
+    /// Toggles convergence-aware lazy scoring for *both* stages (default
+    /// on): MGCPL's winner-margin pruning and CAME's dirty-cluster
+    /// tracking, each exact — labels are bit-for-bit those of eager
+    /// scoring (DESIGN.md §3 "Lazy scoring"). `false` forces the full
+    /// rescans everywhere, which is what the `hotpath_snapshot` baseline
+    /// columns measure against.
+    pub fn lazy_scoring(mut self, on: bool) -> Self {
+        self.lazy_scoring = Some(on);
+        self
+    }
+
     /// Seeds all randomized choices.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -163,6 +176,10 @@ impl McdcBuilder {
         }
         if let Some(policy) = self.reconcile {
             mgcpl = mgcpl.reconcile_arc(policy);
+        }
+        if let Some(on) = self.lazy_scoring {
+            mgcpl = mgcpl.lazy_scoring(on);
+            came = came.lazy_scoring(on);
         }
         Mcdc { mgcpl: mgcpl.build(), came: came.build() }
     }
@@ -242,9 +259,26 @@ impl Mcdc {
     /// Returns [`McdcError::EmptyInput`] / [`McdcError::InvalidK`] on invalid
     /// input shapes.
     pub fn fit(&self, table: &CategoricalTable, k: usize) -> Result<McdcResult, McdcError> {
-        let mgcpl = self.mgcpl.fit(table)?;
+        self.fit_with(table, k, &mut Workspace::new())
+    }
+
+    /// [`fit`](Self::fit) against a caller-provided [`Workspace`]: both
+    /// stages check their pass scratch out of `ws`, so repeated pipeline
+    /// fits reuse one warm arena. Results are identical to
+    /// [`fit`](Self::fit).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`fit`](Self::fit).
+    pub fn fit_with(
+        &self,
+        table: &CategoricalTable,
+        k: usize,
+        ws: &mut Workspace,
+    ) -> Result<McdcResult, McdcError> {
+        let mgcpl = self.mgcpl.fit_with(table, ws)?;
         let encoding = encode_mgcpl(&mgcpl)?;
-        let came = self.came.fit(&encoding, k)?;
+        let came = self.came.fit_with(&encoding, k, ws)?;
         Ok(McdcResult { labels: came.labels().to_vec(), mgcpl, came, encoding })
     }
 

@@ -21,7 +21,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::{ClusterProfile, McdcError, Mgcpl, MgcplResult};
+use crate::{ClusterProfile, McdcError, Mgcpl, MgcplResult, Workspace};
 
 /// Default bound on the re-fit reservoir (rows).
 const DEFAULT_BUFFER_CAPACITY: usize = 4096;
@@ -70,6 +70,11 @@ pub struct StreamingMcdc {
     n_seen: usize,
     /// Summary of the most recent [`StreamingMcdc::refit`].
     last_refit: MgcplResultSummary,
+    /// Persistent fit scratch: every re-fit (and the bootstrap) checks its
+    /// pass buffers out of here instead of reallocating, so a long-lived
+    /// stream's re-fits run allocation-free once warm. (Cloning a stream
+    /// clones the scratch as empty — it holds no state.)
+    workspace: Workspace,
 }
 
 impl StreamingMcdc {
@@ -80,7 +85,8 @@ impl StreamingMcdc {
     ///
     /// Propagates [`McdcError`] from the underlying MGCPL fit.
     pub fn bootstrap(mgcpl: Mgcpl, batch: &CategoricalTable) -> Result<Self, McdcError> {
-        let result = mgcpl.fit(batch)?;
+        let mut workspace = Workspace::new();
+        let result = mgcpl.fit_with(batch, &mut workspace)?;
         let granularities = build_profiles(batch, &result);
         let last_refit =
             MgcplResultSummary { kappa: result.kappa.clone(), sigma: result.partitions.len() };
@@ -97,6 +103,7 @@ impl StreamingMcdc {
             reservoir_rng: ChaCha8Rng::seed_from_u64(0x9E37_79B9_7F4A_7C15),
             n_seen: batch.n_rows(),
             last_refit,
+            workspace,
         })
     }
 
@@ -225,11 +232,16 @@ impl StreamingMcdc {
     /// so a δ-momentum or overlapping-shard re-fit stays well-posed at any
     /// reservoir size.
     ///
+    /// Nothing is rebuilt from scratch per re-fit: the reservoir's encoded
+    /// buffer is the fit input as-is, the plan adapts in place (no learner
+    /// clone), and all pass scratch comes from the stream's persistent
+    /// [`Workspace`] — so steady-state re-fits allocate only their output.
+    ///
     /// # Errors
     ///
     /// Propagates [`McdcError`] from the underlying MGCPL fit.
     pub fn refit(&mut self) -> Result<&MgcplResultSummary, McdcError> {
-        let result = self.mgcpl.with_execution_for(self.buffer.n_rows()).fit(&self.buffer)?;
+        let result = self.mgcpl.fit_adapted(&self.buffer, &mut self.workspace)?;
         self.granularities = build_profiles(&self.buffer, &result);
         self.drifted = 0;
         self.arrived = 0;

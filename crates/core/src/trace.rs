@@ -1,3 +1,46 @@
+/// Hot-path execution counters for one fit (MGCPL or CAME).
+///
+/// Observability, not semantics: two runs that produce identical labels
+/// may count differently (an eager run performs every rescan a lazy run
+/// skips), so result types exclude these counters from their equality —
+/// see `MgcplResult` / `CameResult`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotPathStats {
+    /// Full object rescans performed (one `d×k` scoring sweep each).
+    pub full_rescans: u64,
+    /// Rescans skipped by the lazy winner-margin pruning (DESIGN.md §3
+    /// "Lazy scoring"); each skip replaces a `d×k` sweep with an `O(d)`
+    /// (MGCPL) or `O(1)` (CAME) update.
+    pub skipped_rescans: u64,
+    /// Workspace buffer-growth events during the fit (0 on a warm
+    /// [`Workspace`](crate::Workspace)).
+    pub allocations: u64,
+    /// Learning passes (MGCPL) or alternating-minimization iterations
+    /// (CAME) executed.
+    pub passes: u64,
+}
+
+impl HotPathStats {
+    /// Fraction of presentations resolved without a full rescan.
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.full_rescans + self.skipped_rescans;
+        if total == 0 {
+            0.0
+        } else {
+            self.skipped_rescans as f64 / total as f64
+        }
+    }
+
+    /// Workspace buffer-growth events per pass.
+    pub fn allocations_per_pass(&self) -> f64 {
+        if self.passes == 0 {
+            0.0
+        } else {
+            self.allocations as f64 / self.passes as f64
+        }
+    }
+}
+
 /// Record of one MGCPL granularity stage (one outer epoch that ran
 /// competitive penalization learning to convergence).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

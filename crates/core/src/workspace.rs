@@ -1,0 +1,408 @@
+//! Zero-allocation pass workspaces (DESIGN.md §3 "Lazy scoring", §4).
+//!
+//! Every MGCPL pass used to allocate its scratch on entry — and replicated
+//! plans re-cloned the full cohort (profiles, δ, value-major matrix) *per
+//! replica per pass*. [`Workspace`] is the arena that ends that churn: all
+//! pass- and replica-scoped scratch (presentation orders, δ/prefactor
+//! vectors, replica cohorts, vote buffers, the lazy-scoring competition
+//! caps) is checked out of one reusable workspace and grown at most once,
+//! so a warm workspace runs whole fits without touching the allocator.
+//!
+//! `Mgcpl::fit` / `Came::fit` create a throwaway workspace internally;
+//! callers that fit repeatedly (benchmarks, the streaming re-fit, servers)
+//! pass a persistent one to `fit_with` — or check one out of a shared
+//! [`WorkspacePool`]. Buffer *growth* events are counted
+//! ([`Workspace::allocations`]), which is what `hotpath_snapshot` reports
+//! as `allocations_per_pass`.
+
+use std::sync::Mutex;
+
+use crate::mgcpl::Cohort;
+use crate::trace::HotPathStats;
+use crate::ClusterProfile;
+
+/// Safety slack added to every lazy-scoring margin test: the drift bounds
+/// are accumulated in f64, so the comparison leaves room for the
+/// accumulated rounding of the bound itself (≪ 1e-12 for O(1)-magnitude
+/// scores) plus the re-evaluation noise between two f64 sweeps of the same
+/// object. A margin inside the slack simply falls through to the full
+/// rescore — exactness is never at risk, only a skip is forgone.
+pub(crate) const LAZY_SLACK: f64 = 1e-9;
+
+/// Notes a growth event if `vec` would have to reallocate to hold `needed`.
+#[inline]
+pub(crate) fn note_growth<T>(vec: &Vec<T>, needed: usize, allocs: &mut u64) {
+    if vec.capacity() < needed {
+        *allocs += 1;
+    }
+}
+
+/// `dst = src` reusing `dst`'s capacity, counting a growth event if the
+/// copy had to reallocate.
+#[inline]
+pub(crate) fn copy_into<T: Copy>(dst: &mut Vec<T>, src: &[T], allocs: &mut u64) {
+    note_growth(dst, src.len(), allocs);
+    dst.clear();
+    dst.extend_from_slice(src);
+}
+
+/// `vec.resize(len, fill)` counting a growth event when it reallocates.
+#[inline]
+pub(crate) fn resize_tracked<T: Clone>(vec: &mut Vec<T>, len: usize, fill: T, allocs: &mut u64) {
+    note_growth(vec, len, allocs);
+    vec.resize(len, fill);
+}
+
+/// State behind MGCPL's lazy scoring (DESIGN.md §3 "Lazy scoring"):
+/// per-cluster *competition caps* driving the candidate-pruned scoring
+/// sweep.
+///
+/// `sim_cap[l]` upper-bounds cluster `l`'s sweep similarity against *any*
+/// object: `post_scale · Σ_r max_t value_major[t·k + l]` — the sum of the
+/// cluster's per-feature column maxima. An object reads exactly one entry
+/// per feature, so no row can score above the cap; `pref_l · sim_cap[l]`
+/// therefore caps the competition score cluster `l` can offer anyone.
+/// The caps are recomputed from current state at every pass-start rebuild
+/// and membership patch — there is no drift accounting to keep sound (and
+/// no per-object state at all), which is what lets the pruning survive
+/// the cascade's per-prune δ/ρ resets: prefactors are read fresh at every
+/// test, never integrated.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct LazyCache {
+    /// Per-cluster competition cap on the sweep similarity (post-scale
+    /// folded in), maintained alongside the value-major matrix.
+    pub(crate) sim_cap: Vec<f64>,
+    /// Per-cluster per-feature column maxima of the value-major matrix,
+    /// row-major `k×d`; `sim_cap` is each row's sum.
+    pub(crate) feature_max: Vec<f64>,
+    /// Scratch for the candidate-pruned sweep: `(cluster, score, raw
+    /// accumulator)` per exactly-evaluated cluster.
+    pub(crate) evaluated: Vec<(u32, f64, f64)>,
+    /// Sweep-global rival cursor: the previous presentation's rival,
+    /// evaluated eagerly to seed the pruning threshold (rivals repeat
+    /// heavily across objects once the cascade concentrates). Lives in
+    /// the cache line the sweep already owns — no per-object state.
+    pub(crate) rival_cursor: u32,
+    /// Capped-sweep attempts in the current adaptivity window.
+    pub(crate) window_attempts: u32,
+    /// Window attempts resolved sparsely (pruned).
+    pub(crate) window_sparse: u32,
+    /// Presentation tick driving the disengaged probe trickle.
+    pub(crate) tick: u32,
+    /// Whether the capped sweep is currently engaged.
+    pub(crate) engaged: bool,
+}
+
+/// Adaptivity windows for the convergence-aware engagement gate: while
+/// engaged, re-decide every `ENGAGED_WINDOW` capped attempts (stay if at
+/// least half resolved sparsely); while disengaged, probe one
+/// presentation in [`PROBE_EVERY`] and re-engage only once `PROBE_WINDOW`
+/// probes show three quarters resolving sparsely — conservative on both
+/// sides, so the sweep engages only where pruning clearly pays and
+/// churning passes run at eager cost. The trickle is what lets the
+/// sweep re-engage *mid-pass*: right after a pass-start δ/ρ reset every
+/// cap ties and pruning is hopeless, but penalties spread the caps back
+/// out within the same pass.
+pub(crate) const ENGAGED_WINDOW: u32 = 512;
+pub(crate) const PROBE_WINDOW: u32 = 32;
+pub(crate) const PROBE_EVERY: u32 = 16;
+
+impl LazyCache {
+    /// Starts a pass optimistically engaged with fresh windows.
+    pub(crate) fn begin_pass(&mut self) {
+        self.window_attempts = 0;
+        self.window_sparse = 0;
+        self.tick = 0;
+        self.engaged = true;
+    }
+
+    /// Whether this presentation should run the capped sweep: always
+    /// while engaged, one in [`PROBE_EVERY`] while disengaged.
+    #[inline]
+    pub(crate) fn should_attempt(&mut self) -> bool {
+        if self.engaged {
+            return true;
+        }
+        self.tick = self.tick.wrapping_add(1);
+        self.tick.is_multiple_of(PROBE_EVERY)
+    }
+
+    /// Folds one capped attempt into the adaptivity window, flipping the
+    /// engagement state at window boundaries.
+    #[inline]
+    pub(crate) fn note_attempt(&mut self, sparse: bool) {
+        self.window_attempts += 1;
+        if sparse {
+            self.window_sparse += 1;
+        }
+        let (window, keep) = if self.engaged {
+            (ENGAGED_WINDOW, self.window_sparse * 2 >= self.window_attempts)
+        } else {
+            (PROBE_WINDOW, self.window_sparse * 4 >= self.window_attempts * 3)
+        };
+        if self.window_attempts >= window {
+            self.engaged = keep;
+            self.window_attempts = 0;
+            self.window_sparse = 0;
+        }
+    }
+}
+
+/// Per-replica scratch for replicated MGCPL passes: the replica's cohort
+/// clone target, its local prefactor/accumulator vectors, its presentation
+/// span and verdicts, and the per-shard profile-rebuild buffers. Slots are
+/// moved into the rayon workers and returned, so buffers persist across
+/// passes without sharing.
+#[derive(Debug, Default)]
+pub(crate) struct ReplicaSlot {
+    /// This slot's shard index (stable across passes).
+    pub(crate) index: usize,
+    /// Replica-local cohort, refreshed from the pass-start snapshot.
+    pub(crate) cohort: Option<Cohort>,
+    /// Profiles parked when the cohort shrinks (pruned clusters), reused
+    /// when a later fit starts wide again.
+    pub(crate) spare_profiles: Vec<ClusterProfile>,
+    /// Replica-local copy of the hoisted `(1 − ρ)·u` prefactors.
+    pub(crate) prefactors: Vec<f64>,
+    /// Scoring accumulators (one per live cluster).
+    pub(crate) accumulators: Vec<f64>,
+    /// Presentation span: the global shuffle filtered to this replica.
+    pub(crate) rows: Vec<usize>,
+    /// Winner per presented row, parallel to `rows`.
+    pub(crate) decisions: Vec<usize>,
+    /// Winner similarity per presented row; filled only under overlap.
+    pub(crate) confidences: Vec<f64>,
+    /// Replica δ at span end (extracted from the cohort for the blend).
+    pub(crate) delta: Vec<f64>,
+    /// Per-cluster member lists of this shard's *owned* rows.
+    pub(crate) members: Vec<Vec<usize>>,
+    /// Per-cluster profiles rebuilt over the owned rows.
+    pub(crate) profiles: Vec<ClusterProfile>,
+    /// Hot-path counters accumulated inside the worker, folded after join.
+    pub(crate) stats: HotPathStats,
+    /// Buffer-growth events inside the worker, folded after join.
+    pub(crate) allocs: u64,
+}
+
+/// Scratch for replicated (mini-batch / sharded) MGCPL passes.
+#[derive(Debug, Default)]
+pub(crate) struct ReplicatedScratch {
+    /// One slot per shard, reused across passes.
+    pub(crate) slots: Vec<ReplicaSlot>,
+    /// Span staging buffers [`ShardMap::fill_spans`](crate::execution::ShardMap::fill_spans)
+    /// writes into before the spans swap into the slots.
+    pub(crate) spans: Vec<Vec<usize>>,
+    /// Final membership per row for the current pass.
+    pub(crate) final_of: Vec<usize>,
+    /// Vote buffers for multiply-presented (halo) rows.
+    pub(crate) votes: Vec<Vec<(usize, f64)>>,
+    /// Merge target for the per-shard profiles; swapped with the cohort's
+    /// profiles each pass so both sides recycle.
+    pub(crate) merged: Vec<ClusterProfile>,
+    /// δ blend accumulator.
+    pub(crate) blended: Vec<f64>,
+    /// Pass-start δ handed to the reconcile policy's blend.
+    pub(crate) pass_start_delta: Vec<f64>,
+}
+
+/// Scratch for one MGCPL fit.
+#[derive(Debug, Default)]
+pub(crate) struct MgcplScratch {
+    /// Per-pass presentation order.
+    pub(crate) order: Vec<usize>,
+    /// `1 − ρ_l` snapshot.
+    pub(crate) one_minus_rho: Vec<f64>,
+    /// Hoisted `(1 − ρ)·u` prefactors (persist across passes so the lazy
+    /// layer can measure the pass-start refresh drift).
+    pub(crate) prefactors: Vec<f64>,
+    /// Scoring accumulators.
+    pub(crate) accumulators: Vec<f64>,
+    /// Winner per presented row (serial path).
+    pub(crate) decisions: Vec<usize>,
+    /// The lazy-scoring margin cache.
+    pub(crate) lazy: LazyCache,
+    /// Replica-merge scratch.
+    pub(crate) replicated: ReplicatedScratch,
+}
+
+/// Scratch for one CAME fit.
+#[derive(Debug, Default)]
+pub(crate) struct CameScratch {
+    /// Per-row winner margin (second-best − best θ-Hamming distance).
+    pub(crate) margins: Vec<f64>,
+    /// Per-cluster score-movement bound for the current iteration.
+    pub(crate) drift: Vec<f64>,
+    /// Per-cluster skip threshold derived from `drift`.
+    pub(crate) decay: Vec<f64>,
+    /// Previous iteration's flat `k×σ` mode matrix.
+    pub(crate) prev_modes: Vec<u32>,
+    /// Previous iteration's θ.
+    pub(crate) prev_theta: Vec<f64>,
+    /// Mode-count matrix for the serial Step-2 sweep.
+    pub(crate) counts: Vec<u32>,
+    /// θ agreement counters for the serial Step-2 sweep.
+    pub(crate) intra: Vec<u64>,
+}
+
+/// Reusable scratch arena for MGCPL and CAME fits.
+///
+/// A fresh workspace is empty; the first fit grows every buffer to size
+/// and later fits reuse them, so steady-state passes allocate nothing.
+/// [`Workspace::allocations`] counts buffer *growth* events (a fresh
+/// buffer or a capacity increase), which is the `allocations_per_pass`
+/// metric `hotpath_snapshot` records.
+///
+/// # Example
+///
+/// ```
+/// use categorical_data::synth::GeneratorConfig;
+/// use mcdc_core::{Mgcpl, Workspace};
+///
+/// let data = GeneratorConfig::new("ws", 200, vec![4; 6], 3)
+///     .noise(0.05)
+///     .generate(3)
+///     .dataset;
+/// let mgcpl = Mgcpl::builder().seed(1).build();
+/// let mut ws = Workspace::new();
+/// let cold = mgcpl.fit_with(data.table(), &mut ws)?;
+/// let grown = ws.allocations();
+/// ws.reset_allocations();
+/// let warm = mgcpl.fit_with(data.table(), &mut ws)?;
+/// assert_eq!(cold, warm);
+/// assert!(ws.allocations() <= grown, "warm fits must not re-grow buffers");
+/// # Ok::<(), mcdc_core::McdcError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub(crate) mgcpl: MgcplScratch,
+    pub(crate) came: CameScratch,
+    pub(crate) allocs: u64,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Buffer-growth events since creation or the last
+    /// [`reset_allocations`](Self::reset_allocations).
+    pub fn allocations(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Resets the growth counter (buffers keep their capacity).
+    pub fn reset_allocations(&mut self) {
+        self.allocs = 0;
+    }
+}
+
+// Scratch content is meaningless between fits, so a clone starts empty:
+// this keeps `Workspace` embeddable in `Clone` types (the streaming
+// clusterer) without duplicating arena memory.
+impl Clone for Workspace {
+    fn clone(&self) -> Workspace {
+        Workspace::new()
+    }
+}
+
+/// A shared pool of [`Workspace`]s for callers that run fits concurrently
+/// (one checkout per fit; the workspace returns to the pool on drop).
+///
+/// # Example
+///
+/// ```
+/// use mcdc_core::WorkspacePool;
+///
+/// let pool = WorkspacePool::new();
+/// {
+///     let mut ws = pool.checkout();
+///     ws.reset_allocations();
+/// } // returned here
+/// let _again = pool.checkout(); // reuses the same arena
+/// ```
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    idle: Mutex<Vec<Workspace>>,
+}
+
+impl WorkspacePool {
+    /// Creates an empty pool.
+    pub fn new() -> WorkspacePool {
+        WorkspacePool::default()
+    }
+
+    /// Checks a workspace out, creating one when the pool is empty.
+    pub fn checkout(&self) -> PooledWorkspace<'_> {
+        let ws = self.idle.lock().expect("workspace pool poisoned").pop().unwrap_or_default();
+        PooledWorkspace { ws: Some(ws), pool: self }
+    }
+
+    /// Number of idle workspaces currently pooled.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().expect("workspace pool poisoned").len()
+    }
+}
+
+/// A pool checkout; derefs to [`Workspace`] and returns it on drop.
+#[derive(Debug)]
+pub struct PooledWorkspace<'a> {
+    ws: Option<Workspace>,
+    pool: &'a WorkspacePool,
+}
+
+impl std::ops::Deref for PooledWorkspace<'_> {
+    type Target = Workspace;
+    fn deref(&self) -> &Workspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut Workspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            if let Ok(mut idle) = self.pool.idle.lock() {
+                idle.push(ws);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_tracking_counts_reallocations_only() {
+        let mut allocs = 0;
+        let mut v: Vec<f64> = Vec::new();
+        resize_tracked(&mut v, 8, 0.0, &mut allocs);
+        assert_eq!(allocs, 1);
+        v.clear();
+        resize_tracked(&mut v, 8, 0.0, &mut allocs);
+        assert_eq!(allocs, 1, "capacity was retained");
+        copy_into(&mut v, &[1.0; 4], &mut allocs);
+        assert_eq!(allocs, 1);
+        copy_into(&mut v, &[1.0; 64], &mut allocs);
+        assert_eq!(allocs, 2);
+    }
+
+    #[test]
+    fn pool_recycles_workspaces() {
+        let pool = WorkspacePool::new();
+        assert_eq!(pool.idle_count(), 0);
+        {
+            let _ws = pool.checkout();
+            assert_eq!(pool.idle_count(), 0);
+        }
+        assert_eq!(pool.idle_count(), 1);
+        let _ws = pool.checkout();
+        assert_eq!(pool.idle_count(), 0);
+    }
+}

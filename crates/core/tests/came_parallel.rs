@@ -2,6 +2,11 @@
 //! counting, per-chunk θ agreement counting) must be *exact*: on a 10k-row
 //! synthetic multi-granular encoding, the parallel run yields labels — and
 //! the whole result — identical to the serial sweep.
+//!
+//! `force_chunking` pins the chunked paths open even when the rayon pool
+//! has a single worker (where `fit` otherwise falls back to the serial
+//! sweep, DESIGN.md §3) so the chunk-boundary bookkeeping is exercised on
+//! single-core CI too.
 
 use categorical_data::synth::GeneratorConfig;
 use mcdc_core::{encode_partitions, Came, CameInit, ExecutionPlan};
@@ -21,6 +26,7 @@ fn parallel_assignment_matches_serial_on_10k_rows() {
     for k in [2usize, 3, 5] {
         let parallel = Came::builder()
             .execution(ExecutionPlan::mini_batch(2_500))
+            .force_chunking(true)
             .build()
             .fit(&encoding, k)
             .unwrap();
@@ -44,9 +50,40 @@ fn parallel_random_init_also_matches_serial() {
             .init(CameInit::RandomObjects)
             .seed(5)
             .execution(plan)
+            .force_chunking(true)
             .build()
             .fit(&encoding, 4)
             .unwrap()
     };
     assert_eq!(build(ExecutionPlan::mini_batch(1_000)), build(ExecutionPlan::Serial));
+}
+
+#[test]
+fn chunked_lazy_tracking_matches_serial_eager() {
+    // Dirty-cluster tracking must stay exact through the chunked path:
+    // lazy-chunked, lazy-serial, and eager-serial all agree bit for bit.
+    let out =
+        GeneratorConfig::new("par", 9_000, vec![4; 8], 3).subclusters(2).noise(0.2).generate(31);
+    let fine = out.fine_labels.clone();
+    let coarse = out.dataset.labels().to_vec();
+    let encoding = encode_partitions(&[fine, coarse]).expect("valid partitions");
+
+    for k in [2usize, 4] {
+        let eager = Came::builder()
+            .lazy_scoring(false)
+            .execution(ExecutionPlan::Serial)
+            .build()
+            .fit(&encoding, k)
+            .unwrap();
+        let lazy_serial =
+            Came::builder().execution(ExecutionPlan::Serial).build().fit(&encoding, k).unwrap();
+        let lazy_chunked = Came::builder()
+            .execution(ExecutionPlan::mini_batch(1_500))
+            .force_chunking(true)
+            .build()
+            .fit(&encoding, k)
+            .unwrap();
+        assert_eq!(eager, lazy_serial, "lazy serial diverged at k={k}");
+        assert_eq!(eager, lazy_chunked, "lazy chunked diverged at k={k}");
+    }
 }

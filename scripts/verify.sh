@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate plus style/lint hygiene. Run from anywhere.
 #
-#   scripts/verify.sh           # build + tests + fmt + clippy + docs
+#   scripts/verify.sh           # build + tests + fmt + clippy + docs + perf smoke
 #
 # The tier-1 gate (ROADMAP.md) is `cargo build --release && cargo test -q`;
-# fmt/clippy keep the tree warning-free, and the rustdoc build (warnings
-# denied) + doctests keep the documented API contracts honest, so
-# regressions surface immediately.
+# fmt/clippy keep the tree warning-free, the rustdoc build (warnings
+# denied) + doctests keep the documented API contracts honest, and the
+# perf-smoke step (`hotpath_snapshot --quick`, n = 10k) fails on
+# panics/NaN medians, on `mgcpl_lazy` losing to `mgcpl_explore` beyond
+# noise tolerance, and on the lazy pruning never firing — so perf
+# regressions surface immediately too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,5 +30,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 echo "==> cargo test --doc -q"
 cargo test --doc -q
+
+echo "==> perf smoke (hotpath_snapshot --quick)"
+cargo run --release -p mcdc-bench --bin hotpath_snapshot -- --quick
 
 echo "verify: OK"
