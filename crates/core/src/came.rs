@@ -12,9 +12,14 @@
 //! workers and each chunk's labels computed independently — the result is
 //! *identical* to the sequential sweep, not an approximation. Step 2's mode
 //! counting and θ agreement counting accumulate integers per chunk and
-//! merge, which is exact and order-independent. `CameBuilder::parallel`
-//! toggles this (on by default; small inputs fall back to the serial path
-//! anyway). See `DESIGN.md` §"Hot path".
+//! merge, which is exact and order-independent. The chunked paths are
+//! driven by the unified execution engine — [`CameBuilder::execution`]
+//! here, or [`McdcBuilder::execution`](crate::McdcBuilder::execution) to
+//! configure the whole pipeline at once (any replicated
+//! [`ExecutionPlan`](crate::ExecutionPlan) enables them; small inputs fall
+//! back to the serial path anyway). The historical CAME-only
+//! `CameBuilder::parallel` switch is deprecated and kept only as a
+//! forwarding shim. See `DESIGN.md` §"Hot path".
 
 use categorical_data::{CategoricalTable, CsrLayout, MISSING};
 use rand::seq::SliceRandom;

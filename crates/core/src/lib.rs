@@ -18,8 +18,9 @@
 //!   mini-batch / sharded replica-merge parallelism) driving MGCPL, CAME,
 //!   and the streaming re-fit through one builder knob (DESIGN.md §4);
 //! * [`Reconcile`] — the reconciliation policies replicated plans merge
-//!   under: [`DeltaAverage`], [`DeltaMomentum`], [`OverlapShards`]
-//!   (DESIGN.md §5);
+//!   under: [`DeltaAverage`], [`DeltaMomentum`], [`OverlapShards`], and the
+//!   composable [`Rotate`] cross-pass replica rotation (DESIGN.md §5–6),
+//!   plus the [`WarmStart`] stage-boundary carry (DESIGN.md §6);
 //! * [`StreamingMcdc`] — online absorption with drift-triggered re-fits
 //!   over a bounded reservoir;
 //! * [`Workspace`] / [`WorkspacePool`] — reusable pass-scratch arenas:
@@ -71,11 +72,13 @@ pub use came::{Came, CameBuilder, CameInit, CameResult};
 pub use competitive::{CompetitiveLearning, CompetitiveResult};
 pub use encoding::{encode_mgcpl, encode_partitions};
 pub use error::McdcError;
-pub use execution::ExecutionPlan;
+pub use execution::{ExecutionPlan, WarmStart};
 pub use mgcpl::{Mgcpl, MgcplBuilder, MgcplResult};
 pub use pipeline::{Mcdc, McdcBuilder, McdcResult};
 pub use profile::{score_all, score_all_transposed, ClusterProfile};
-pub use reconcile::{DeltaAverage, DeltaMomentum, OverlapShards, Reconcile, ReconcileDescriptor};
+pub use reconcile::{
+    DeltaAverage, DeltaMomentum, OverlapShards, Reconcile, ReconcileDescriptor, Rotate,
+};
 pub use streaming::{MgcplResultSummary, StreamingMcdc};
 pub use trace::{HotPathStats, LearningTrace, StageRecord};
 pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};

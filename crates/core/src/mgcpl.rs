@@ -29,7 +29,7 @@ use crate::workspace::{
 };
 use crate::{
     score_all_transposed, ClusterProfile, DeltaAverage, ExecutionPlan, HotPathStats, LearningTrace,
-    McdcError, Reconcile, StageRecord,
+    McdcError, Reconcile, StageRecord, WarmStart,
 };
 
 /// Configurable MGCPL learner. Construct via [`Mgcpl::builder`].
@@ -62,6 +62,7 @@ pub struct Mgcpl {
     seed: u64,
     execution: ExecutionPlan,
     reconcile: Arc<dyn Reconcile>,
+    warm_start: WarmStart,
 }
 
 // Policies compare by descriptor (name + parameters): two learners with the
@@ -79,6 +80,7 @@ impl PartialEq for Mgcpl {
             && self.seed == other.seed
             && self.execution == other.execution
             && self.reconcile.describe() == other.reconcile.describe()
+            && self.warm_start == other.warm_start
     }
 }
 
@@ -96,6 +98,7 @@ pub struct MgcplBuilder {
     seed: u64,
     execution: ExecutionPlan,
     reconcile: Arc<dyn Reconcile>,
+    warm_start: WarmStart,
 }
 
 impl PartialEq for MgcplBuilder {
@@ -110,6 +113,7 @@ impl PartialEq for MgcplBuilder {
             && self.seed == other.seed
             && self.execution == other.execution
             && self.reconcile.describe() == other.reconcile.describe()
+            && self.warm_start == other.warm_start
     }
 }
 
@@ -126,6 +130,7 @@ impl Default for MgcplBuilder {
             seed: 0,
             execution: ExecutionPlan::Serial,
             reconcile: Arc::new(DeltaAverage),
+            warm_start: WarmStart::Cold,
         }
     }
 }
@@ -234,6 +239,19 @@ impl MgcplBuilder {
         self
     }
 
+    /// Selects how each granularity stage re-launches (default
+    /// [`WarmStart::Cold`], the paper's Alg. 1 step 13 reset, pinned
+    /// bit-exact against the historical behavior).
+    /// [`WarmStart::Carry`] seeds each coarser cascade level from the
+    /// reconciled δ and ω of the level that just converged — under a
+    /// replicated plan that is the cross-shard consensus state, so finer
+    /// levels stop re-deriving it cold per shard. See [`WarmStart`] for
+    /// the exact semantics and a worked example.
+    pub fn warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
     /// Validates and builds the learner.
     ///
     /// # Panics
@@ -264,6 +282,7 @@ impl MgcplBuilder {
             seed: self.seed,
             execution: self.execution,
             reconcile: self.reconcile,
+            warm_start: self.warm_start,
         }
     }
 }
@@ -513,6 +532,25 @@ impl Cohort {
         self.omega.resize(self.len() * d, 1.0 / d as f64);
     }
 
+    /// Stage-boundary re-launch under the learner's [`WarmStart`] mode:
+    /// [`WarmStart::Cold`] is exactly [`reset_statistics`]
+    /// (Self::reset_statistics); [`WarmStart::Carry`] keeps the reconciled
+    /// δ and ω of the stage that just converged — the state every replica's
+    /// first pass of the next stage then snapshots — and resets only the
+    /// win counts (the ρ conscience stays stage-scoped; pruning keeps both
+    /// vectors compacted in lockstep, so no re-sizing is needed and the
+    /// carry allocates nothing).
+    fn relaunch(&mut self, d: usize, warm: WarmStart) {
+        match warm {
+            WarmStart::Cold => self.reset_statistics(d),
+            WarmStart::Carry => {
+                debug_assert_eq!(self.omega.len(), self.len() * d);
+                self.wins_prev.fill(0);
+                self.wins_now.fill(0);
+            }
+        }
+    }
+
     /// Removes empty clusters, compacting every parallel array and the
     /// `assignment` indices. (The lazy cache needs no re-mapping: its caps
     /// and the rival cursor are re-derived/bounds-checked against the
@@ -628,7 +666,12 @@ impl Mgcpl {
             return Err(McdcError::EmptyInput);
         }
         plan.validate(n)?;
-        let shard_map = plan.shard_map(table, self.reconcile.halo())?;
+        let mut shard_map = plan.shard_map(table, self.reconcile.halo())?;
+        // Merge steps completed so far, across stages: a rotating policy
+        // permutes the row -> replica map every `rotation_period()` of
+        // these, and the counter deliberately spans stage boundaries so
+        // short stages cannot pin the rotation at one offset forever.
+        let mut merge_steps: u64 = 0;
         let d = table.n_features();
         let k0 = match self.initial_k {
             Some(k) => {
@@ -696,7 +739,8 @@ impl Mgcpl {
                 &mut clusters,
                 &mut assignment,
                 &mut rng,
-                shard_map.as_ref(),
+                shard_map.as_mut(),
+                &mut merge_steps,
                 ws,
                 &mut stats,
             );
@@ -715,7 +759,10 @@ impl Mgcpl {
             }
             k_old = k_after;
 
-            clusters.reset_statistics(d);
+            // Re-launch for the next (coarser) granularity level: cold per
+            // Alg. 1, or seeded from this level's reconciled delta/omega
+            // under `WarmStart::Carry`.
+            clusters.relaunch(d, self.warm_start);
         }
 
         stats.allocations = ws.allocs - alloc_start;
@@ -747,7 +794,8 @@ impl Mgcpl {
         clusters: &mut Cohort,
         assignment: &mut [Option<usize>],
         rng: &mut ChaCha8Rng,
-        shard_map: Option<&ShardMap>,
+        mut shard_map: Option<&mut ShardMap>,
+        merge_steps: &mut u64,
         ws: &mut Workspace,
         stats: &mut HotPathStats,
     ) -> usize {
@@ -798,7 +846,7 @@ impl Mgcpl {
                 allocs,
             );
 
-            let mut changed = match shard_map {
+            let mut changed = match shard_map.as_deref_mut() {
                 None => {
                     let changed = self.apply_span(
                         table,
@@ -819,19 +867,32 @@ impl Mgcpl {
                     }
                     changed
                 }
-                Some(map) => self.apply_replicated(
-                    table,
-                    order,
-                    clusters,
-                    assignment,
-                    one_minus_rho,
-                    prefactors,
-                    post_scale,
-                    map,
-                    replicated,
-                    allocs,
-                    stats,
-                ),
+                Some(map) => {
+                    let changed = self.apply_replicated(
+                        table,
+                        order,
+                        clusters,
+                        assignment,
+                        one_minus_rho,
+                        prefactors,
+                        post_scale,
+                        map,
+                        replicated,
+                        allocs,
+                        stats,
+                    );
+                    // Cross-pass replica rotation (DESIGN.md §6): between
+                    // merge steps -- never within one, so each pass's
+                    // profile merge stays exact -- a rotating policy shifts
+                    // the row -> replica map so no row stays with the same
+                    // cohort for the whole fit.
+                    *merge_steps += 1;
+                    let period = self.reconcile.rotation_period() as u64;
+                    if period > 0 && merge_steps.is_multiple_of(period) && map.rotate() {
+                        stats.rotations += 1;
+                    }
+                    changed
+                }
             };
 
             // Prune clusters that lost all members. After a prune, reset the

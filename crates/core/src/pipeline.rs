@@ -7,7 +7,7 @@ use categorical_data::CategoricalTable;
 
 use crate::{
     encode_mgcpl, Came, CameInit, CameResult, ExecutionPlan, McdcError, Mgcpl, MgcplResult,
-    Reconcile, Workspace,
+    Reconcile, WarmStart, Workspace,
 };
 
 /// The full MCDC clusterer. Construct via [`Mcdc::builder`].
@@ -45,6 +45,7 @@ pub struct McdcBuilder {
     execution: Option<ExecutionPlan>,
     reconcile: Option<Arc<dyn Reconcile>>,
     lazy_scoring: Option<bool>,
+    warm_start: Option<WarmStart>,
     seed: u64,
 }
 
@@ -61,6 +62,7 @@ impl PartialEq for McdcBuilder {
             && self.reconcile.as_ref().map(|p| p.describe())
                 == other.reconcile.as_ref().map(|p| p.describe())
             && self.lazy_scoring == other.lazy_scoring
+            && self.warm_start == other.warm_start
             && self.seed == other.seed
     }
 }
@@ -130,6 +132,37 @@ impl McdcBuilder {
         self
     }
 
+    /// Selects how the MGCPL stage re-launches at granularity boundaries
+    /// (default [`WarmStart::Cold`], the paper's Alg. 1 reset —
+    /// bit-exact with the historical pipeline).
+    /// [`WarmStart::Carry`] seeds each coarser level from the reconciled
+    /// δ/ω consensus of the finer level that just converged, which under a
+    /// replicated [`execution`](Self::execution) plan attacks shard-local
+    /// minima: every replica's first pass of the new level starts from the
+    /// cross-shard agreed state instead of re-deriving it cold from its
+    /// own cohort (DESIGN.md §6–7 have the semantics and the measured
+    /// quality ablation). CAME is unaffected — it has no granularity
+    /// cascade to re-launch.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mcdc_core::{DeltaMomentum, ExecutionPlan, Mcdc, Rotate, WarmStart};
+    ///
+    /// // The full quality-recovery stack for replicated plans: momentum
+    /// // damping, cross-pass rotation, and the cross-stage carry.
+    /// let mcdc = Mcdc::builder()
+    ///     .execution(ExecutionPlan::mini_batch(256))
+    ///     .reconcile(Rotate { period: 1, inner: DeltaMomentum { beta: 0.5 } })
+    ///     .warm_start(WarmStart::Carry)
+    ///     .build();
+    /// assert_eq!(mcdc.reconcile_policy().rotation_period(), 1);
+    /// ```
+    pub fn warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm_start = Some(warm);
+        self
+    }
+
     /// Toggles convergence-aware lazy scoring for *both* stages (default
     /// on): MGCPL's winner-margin pruning and CAME's dirty-cluster
     /// tracking, each exact — labels are bit-for-bit those of eager
@@ -180,6 +213,9 @@ impl McdcBuilder {
         if let Some(on) = self.lazy_scoring {
             mgcpl = mgcpl.lazy_scoring(on);
             came = came.lazy_scoring(on);
+        }
+        if let Some(warm) = self.warm_start {
+            mgcpl = mgcpl.warm_start(warm);
         }
         Mcdc { mgcpl: mgcpl.build(), came: came.build() }
     }

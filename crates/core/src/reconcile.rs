@@ -15,13 +15,14 @@
 //!   shard-size-weighted average of the replica δ vectors (plus the
 //!   pass-start value) to the next pass's consensus δ.
 //!
-//! Three policies ship with the crate:
+//! Three policies ship with the crate, plus one composable axis:
 //!
 //! | Policy | Overrides | When to use |
 //! | --- | --- | --- |
 //! | [`DeltaAverage`] | nothing (the defaults) | the PR-2 rule, pinned bit-exact; cheapest |
 //! | [`DeltaMomentum`] | `blend_delta` | nested/high-overlap data where merge-step δ noise makes granularity cascades land differently run to run |
 //! | [`OverlapShards`] | `halo` | few large shards whose boundaries cut through natural clusters (e.g. placement-derived `Sharded` plans) |
+//! | [`Rotate`] | `rotation_period` (wraps any policy) | long fits where rows would otherwise stay trapped with one replica cohort for the whole run |
 //!
 //! Everything outside these hooks — exact integer profile merges, ω
 //! re-derivation from the merged profiles, win-count sums — is common to
@@ -61,16 +62,30 @@ pub struct ReconcileDescriptor {
     pub beta: f64,
     /// Halo width in rows (0 for non-overlapping policies).
     pub halo: usize,
+    /// Replica-rotation period in merge steps (0 for non-rotating
+    /// policies).
+    pub rotation: usize,
 }
 
 impl fmt::Display for ReconcileDescriptor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match (self.beta != 0.0, self.halo != 0) {
-            (false, false) => write!(f, "{}", self.name),
-            (true, false) => write!(f, "{}(beta={})", self.name, self.beta),
-            (false, true) => write!(f, "{}(halo={})", self.name, self.halo),
-            (true, true) => write!(f, "{}(beta={},halo={})", self.name, self.beta, self.halo),
+        write!(f, "{}", self.name)?;
+        let mut sep = '(';
+        for part in [
+            (self.beta != 0.0).then(|| format!("beta={}", self.beta)),
+            (self.halo != 0).then(|| format!("halo={}", self.halo)),
+            (self.rotation != 0).then(|| format!("rot={}", self.rotation)),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            write!(f, "{sep}{part}")?;
+            sep = ',';
         }
+        if sep == ',' {
+            write!(f, ")")?;
+        }
+        Ok(())
     }
 }
 
@@ -106,6 +121,19 @@ pub trait Reconcile: fmt::Debug + Send + Sync {
     /// The policy's identity (name + parameters); two learners are equal
     /// only when their policies describe identically.
     fn describe(&self) -> ReconcileDescriptor;
+
+    /// Rotation period, in merge steps: every `period` reconciliations the
+    /// engine permutes the row → replica map (a cyclic shift of the row
+    /// space), so rows stop being grouped with one fixed cohort for the
+    /// whole fit. The permutation preserves shard sizes and, for
+    /// contiguous mini-batch shards, keeps cohorts contiguous — only the
+    /// boundaries move; shift-*invariant* explicit partitions (perfect
+    /// round-robin) are merely relabeled, see the [`Rotate`] caveat. `0`
+    /// (the default) never rotates; serial plans have no map to rotate and
+    /// ignore the period entirely.
+    fn rotation_period(&self) -> usize {
+        0
+    }
 
     /// Halo width: how many boundary rows each replica borrows from each
     /// adjacent shard (adjacency = shard index; a mini-batch plan's shards
@@ -171,7 +199,7 @@ pub struct DeltaAverage;
 
 impl Reconcile for DeltaAverage {
     fn describe(&self) -> ReconcileDescriptor {
-        ReconcileDescriptor { name: "delta-average", beta: 0.0, halo: 0 }
+        ReconcileDescriptor { name: "delta-average", beta: 0.0, halo: 0, rotation: 0 }
     }
 }
 
@@ -205,7 +233,7 @@ pub struct DeltaMomentum {
 
 impl Reconcile for DeltaMomentum {
     fn describe(&self) -> ReconcileDescriptor {
-        ReconcileDescriptor { name: "delta-momentum", beta: self.beta, halo: 0 }
+        ReconcileDescriptor { name: "delta-momentum", beta: self.beta, halo: 0, rotation: 0 }
     }
 
     fn blend_delta(&self, pass_start: &[f64], blended: &mut [f64]) {
@@ -242,11 +270,108 @@ pub struct OverlapShards {
 
 impl Reconcile for OverlapShards {
     fn describe(&self) -> ReconcileDescriptor {
-        ReconcileDescriptor { name: "overlap-shards", beta: 0.0, halo: self.halo }
+        ReconcileDescriptor { name: "overlap-shards", beta: 0.0, halo: self.halo, rotation: 0 }
     }
 
     fn halo(&self) -> usize {
         self.halo
+    }
+}
+
+/// Cross-pass replica rotation: every `period` merge steps the engine
+/// permutes the row → replica map (a cyclic shift of the row space that
+/// preserves shard sizes), so no row is permanently trapped with the same
+/// cohort. Wraps any inner policy — the δ blend, halo, and vote hooks all
+/// delegate — which is what makes rotation *composable* with
+/// [`DeltaMomentum`] and [`OverlapShards`] rather than a fourth standalone
+/// policy.
+///
+/// Shard-local minima are the replicated engine's dominant failure mode on
+/// nested high-overlap data (DESIGN.md §7): a replica only ever cascades
+/// over its own cohort, so a cohort whose rows under-represent a natural
+/// cluster keeps mis-cascading the same way every pass. Rotation changes
+/// the cohort *composition* over time (the shift is a non-trivial fraction
+/// of the shard width, so groupings genuinely change — a whole-shard shift
+/// would merely relabel replicas), letting every row present alongside
+/// different neighbors across the fit while each individual pass keeps the
+/// exact merge semantics of the inner policy.
+///
+/// `period = 0` never rotates and is bit-exact with the bare inner policy
+/// (pinned by `crates/core/tests/quality_recovery.rs`); `period = 1`
+/// rotates after every merge step. Rotation changes which replica *owns*
+/// each row between passes, never within one, so profile merges stay exact.
+///
+/// One honest caveat: the permutation is a cyclic shift, so an explicit
+/// [`Sharded`](crate::ExecutionPlan::Sharded) partition that is itself
+/// shift-invariant — a perfect round-robin (`shard s = {j : j mod k = s}`)
+/// being the canonical case — is mapped onto *itself* with the shard
+/// indices relabeled: cohort composition never changes, results are
+/// identical to the unrotated fit, and only the
+/// [`rotations`](crate::HotPathStats::rotations) counter moves. Rotation
+/// earns its keep on contiguous cohorts (mini-batch plans, block-wise
+/// explicit partitions), where the shift genuinely regroups rows.
+///
+/// # Example
+///
+/// ```
+/// use mcdc_core::{DeltaMomentum, ExecutionPlan, Mcdc, Reconcile, Rotate};
+///
+/// // Rotation composes with any inner policy …
+/// let policy = Rotate { period: 2, inner: DeltaMomentum { beta: 0.5 } };
+/// assert_eq!(policy.rotation_period(), 2);
+/// assert_eq!(policy.describe().to_string(), "delta-momentum(beta=0.5,rot=2)");
+/// // … and `Rotate::every` is the shorthand over the default δ-average.
+/// assert_eq!(Rotate::every(3).describe().to_string(), "delta-average(rot=3)");
+///
+/// use categorical_data::synth::GeneratorConfig;
+/// let data = GeneratorConfig::new("demo", 240, vec![4; 8], 3)
+///     .noise(0.05)
+///     .generate(7)
+///     .dataset;
+/// let result = Mcdc::builder()
+///     .seed(1)
+///     .execution(ExecutionPlan::mini_batch(60))
+///     .reconcile(Rotate { period: 1, inner: DeltaMomentum { beta: 0.5 } })
+///     .build()
+///     .fit(data.table(), 3)?;
+/// assert_eq!(result.labels().len(), 240);
+/// # Ok::<(), mcdc_core::McdcError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Rotate<P = DeltaAverage> {
+    /// Merge steps between rotations; 0 disables rotation.
+    pub period: usize,
+    /// The policy whose merge semantics each individual pass keeps.
+    pub inner: P,
+}
+
+impl Rotate<DeltaAverage> {
+    /// Rotation every `period` merge steps over the default
+    /// [`DeltaAverage`] merge rule.
+    pub fn every(period: usize) -> Self {
+        Rotate { period, inner: DeltaAverage }
+    }
+}
+
+impl<P: Reconcile> Reconcile for Rotate<P> {
+    fn describe(&self) -> ReconcileDescriptor {
+        ReconcileDescriptor { rotation: self.period, ..self.inner.describe() }
+    }
+
+    fn rotation_period(&self) -> usize {
+        self.period
+    }
+
+    fn halo(&self) -> usize {
+        self.inner.halo()
+    }
+
+    fn blend_delta(&self, pass_start: &[f64], blended: &mut [f64]) {
+        self.inner.blend_delta(pass_start, blended);
+    }
+
+    fn resolve(&self, votes: &[(usize, f64)]) -> usize {
+        self.inner.resolve(votes)
     }
 }
 
@@ -300,5 +425,40 @@ mod tests {
     fn overlap_zero_has_no_halo() {
         assert_eq!(OverlapShards { halo: 0 }.halo(), 0);
         assert_eq!(OverlapShards::default().halo(), 0);
+    }
+
+    #[test]
+    fn rotate_delegates_everything_but_the_period() {
+        let policy = Rotate { period: 4, inner: OverlapShards { halo: 6 } };
+        assert_eq!(policy.halo(), 6);
+        assert_eq!(policy.rotation_period(), 4);
+        assert_eq!(format!("{}", policy.describe()), "overlap-shards(halo=6,rot=4)");
+        // The δ blend is the inner policy's, bit for bit.
+        let pass_start = [0.8, 0.2];
+        let mut via_rotate = [0.4, 0.6];
+        let mut via_inner = [0.4, 0.6];
+        Rotate { period: 7, inner: DeltaMomentum { beta: 0.25 } }
+            .blend_delta(&pass_start, &mut via_rotate);
+        DeltaMomentum { beta: 0.25 }.blend_delta(&pass_start, &mut via_inner);
+        assert_eq!(via_rotate.map(f64::to_bits), via_inner.map(f64::to_bits));
+    }
+
+    #[test]
+    fn rotate_period_zero_describes_as_the_bare_inner_policy() {
+        // The descriptor drives learner equality, so a non-rotating wrapper
+        // must be indistinguishable from its inner policy.
+        assert_eq!(Rotate { period: 0, inner: DeltaAverage }.describe(), DeltaAverage.describe());
+        assert_eq!(
+            Rotate { period: 0, inner: DeltaMomentum { beta: 0.5 } }.describe(),
+            DeltaMomentum { beta: 0.5 }.describe(),
+        );
+        assert_eq!(format!("{}", Rotate::every(0).describe()), "delta-average");
+    }
+
+    #[test]
+    fn non_rotating_policies_report_period_zero() {
+        assert_eq!(DeltaAverage.rotation_period(), 0);
+        assert_eq!(DeltaMomentum { beta: 0.9 }.rotation_period(), 0);
+        assert_eq!(OverlapShards { halo: 8 }.rotation_period(), 0);
     }
 }

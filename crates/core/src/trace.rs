@@ -18,6 +18,10 @@ pub struct HotPathStats {
     /// Learning passes (MGCPL) or alternating-minimization iterations
     /// (CAME) executed.
     pub passes: u64,
+    /// Row → replica rotations performed by a rotating
+    /// [`Reconcile`](crate::Reconcile) policy (`Rotate { period }`); 0
+    /// under serial plans, single-shard maps, and non-rotating policies.
+    pub rotations: u64,
 }
 
 impl HotPathStats {

@@ -174,8 +174,26 @@ fn came_dirty_tracking_skips_on_multi_iteration_fits() {
 #[test]
 fn warm_workspace_runs_allocation_free() {
     let data = GeneratorConfig::new("warm", 400, vec![4; 8], 3).noise(0.05).generate(5).dataset;
-    for plan in [ExecutionPlan::Serial, ExecutionPlan::mini_batch(100)] {
-        let mgcpl = Mgcpl::builder().seed(2).execution(plan.clone()).build();
+    // The quality-recovery axes (cross-pass rotation, warm carry; DESIGN.md
+    // §6) must preserve the zero-allocation steady state: rotation rebuilds
+    // the shard map into its own reused buffers and the carry needs no
+    // scratch at all, so the workspace arena's warm-fit guarantee is
+    // identical with them on.
+    let configure: [&dyn Fn(mcdc_core::MgcplBuilder) -> mcdc_core::MgcplBuilder; 3] = [
+        &|b| b.execution(ExecutionPlan::Serial),
+        &|b| b.execution(ExecutionPlan::mini_batch(100)),
+        &|b| {
+            b.execution(ExecutionPlan::mini_batch(100))
+                .reconcile(mcdc_core::Rotate {
+                    period: 1,
+                    inner: mcdc_core::OverlapShards { halo: 8 },
+                })
+                .warm_start(mcdc_core::WarmStart::Carry)
+        },
+    ];
+    for configure in configure {
+        let mgcpl = configure(Mgcpl::builder().seed(2)).build();
+        let plan = mgcpl.execution_plan().clone();
         let mut ws = Workspace::new();
         let cold = mgcpl.fit_with(data.table(), &mut ws).unwrap();
         assert!(ws.allocations() > 0, "cold fit must grow the workspace ({plan:?})");

@@ -9,7 +9,10 @@
 # perf-smoke step (`hotpath_snapshot --quick`, n = 10k) fails on
 # panics/NaN medians, on `mgcpl_lazy` losing to `mgcpl_explore` beyond
 # noise tolerance, and on the lazy pruning never firing — so perf
-# regressions surface immediately too.
+# regressions surface immediately too. The reconcile smoke
+# (`reconcile_ablation --quick`) runs a tiny quality-recovery grid and
+# fails on panics, non-finite metrics, or a rotating policy that never
+# rotates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,5 +36,8 @@ cargo test --doc -q
 
 echo "==> perf smoke (hotpath_snapshot --quick)"
 cargo run --release -p mcdc-bench --bin hotpath_snapshot -- --quick
+
+echo "==> reconcile smoke (reconcile_ablation --quick)"
+cargo run --release -p mcdc-bench --bin reconcile_ablation -- --quick
 
 echo "verify: OK"
