@@ -214,6 +214,23 @@ mod tests {
     }
 
     #[test]
+    fn no_legal_batch_size_ever_yields_an_empty_shard() {
+        // Exhaustive over every batch size the sharder accepts: the shard
+        // count is always ⌈n / b⌉ and every shard is non-empty, so no
+        // replica can ever be handed zero rows (the engine's quarantine
+        // accounting divides by shard counts and relies on this).
+        for n in [1usize, 2, 7, 10] {
+            let t = table(n);
+            for b in 1..=n {
+                let shards = t.shard_rows(b).unwrap();
+                assert_eq!(shards.len(), n.div_ceil(b), "n = {n}, b = {b}");
+                assert!(shards.iter().all(|s| !s.is_empty()), "n = {n}, b = {b}");
+                assert_eq!(shards.iter().map(TableShard::n_rows).sum::<usize>(), n);
+            }
+        }
+    }
+
+    #[test]
     fn manual_shard_validates_range() {
         let t = table(6);
         assert!(t.shard(2, 5).is_ok());

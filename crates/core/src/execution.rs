@@ -93,9 +93,9 @@ impl ExecutionPlan {
     /// # Errors
     ///
     /// Returns [`McdcError::InvalidShards`] when the batch size is zero or
-    /// exceeds `n`, or when an explicit shard set is empty, has an empty
-    /// shard, repeats a row, references a row `>= n`, or fails to cover
-    /// every row.
+    /// exceeds `n`, or when an explicit shard set is empty, holds more
+    /// shards than rows, has an empty shard, repeats a row, references a
+    /// row `>= n`, or fails to cover every row.
     pub fn validate(&self, n: usize) -> Result<(), McdcError> {
         match self {
             ExecutionPlan::Serial => Ok(()),
@@ -116,6 +116,18 @@ impl ExecutionPlan {
                 if shards.is_empty() {
                     return Err(McdcError::InvalidShards {
                         message: "shard set is empty".to_owned(),
+                    });
+                }
+                if shards.len() > n {
+                    // Without this early check the pigeonhole violation
+                    // would still surface below, but as a confusing
+                    // repeated-row / out-of-range complaint about whichever
+                    // row happened to trip first.
+                    return Err(McdcError::InvalidShards {
+                        message: format!(
+                            "{} shards over {n} rows guarantees empty shards",
+                            shards.len()
+                        ),
                     });
                 }
                 let mut owner = vec![false; n];
@@ -549,6 +561,24 @@ mod tests {
             ExecutionPlan::sharded(vec![vec![0, 1], vec![2, 4]]).validate(n),
             Err(McdcError::InvalidShards { .. })
         ));
+    }
+
+    #[test]
+    fn sharded_rejects_more_shards_than_rows() {
+        // Pigeonhole: 5 shards over 4 rows cannot all be non-empty. The
+        // early check reports the real constraint instead of whichever
+        // repeated-row / out-of-range complaint trips first.
+        let plan = ExecutionPlan::sharded(vec![vec![0], vec![1], vec![2], vec![3], vec![0]]);
+        match plan.validate(4) {
+            Err(McdcError::InvalidShards { message }) => {
+                assert!(message.contains("5 shards over 4 rows"), "got: {message}");
+            }
+            other => panic!("expected InvalidShards, got {other:?}"),
+        }
+        // n == shards.len() is the boundary and stays legal.
+        assert!(ExecutionPlan::sharded(vec![vec![0], vec![1], vec![2], vec![3]])
+            .validate(4)
+            .is_ok());
     }
 
     #[test]

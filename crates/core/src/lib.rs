@@ -21,8 +21,12 @@
 //!   under: [`DeltaAverage`], [`DeltaMomentum`], [`OverlapShards`], and the
 //!   composable [`Rotate`] cross-pass replica rotation (DESIGN.md §5–6),
 //!   plus the [`WarmStart`] stage-boundary carry (DESIGN.md §6);
+//! * [`FaultPlan`] — deterministic, seeded fault injection with graceful
+//!   degradation: quarantined replicas, bounded retries, survivor
+//!   re-weighting, and poisoned-δ rejection (DESIGN.md §8);
 //! * [`StreamingMcdc`] — online absorption with drift-triggered re-fits
-//!   over a bounded reservoir;
+//!   over a bounded reservoir, rolling back re-fits that degrade below a
+//!   survivor quorum;
 //! * [`Workspace`] / [`WorkspacePool`] — reusable pass-scratch arenas:
 //!   `fit_with` runs repeated fits allocation-free once warm, and
 //!   [`HotPathStats`] reports the lazy-scoring pruning rate and workspace
@@ -57,6 +61,7 @@ mod competitive;
 mod encoding;
 mod error;
 mod execution;
+mod fault;
 mod mgcpl;
 mod pipeline;
 mod profile;
@@ -73,6 +78,7 @@ pub use competitive::{CompetitiveLearning, CompetitiveResult};
 pub use encoding::{encode_mgcpl, encode_partitions};
 pub use error::McdcError;
 pub use execution::{ExecutionPlan, WarmStart};
+pub use fault::{DeltaFault, FaultPlan, ReplicaFault};
 pub use mgcpl::{Mgcpl, MgcplBuilder, MgcplResult};
 pub use pipeline::{Mcdc, McdcBuilder, McdcResult};
 pub use profile::{score_all, score_all_transposed, ClusterProfile};

@@ -21,6 +21,7 @@ use rayon::prelude::*;
 use categorical_data::{CsrLayout, MISSING};
 
 use crate::execution::ShardMap;
+use crate::fault::{DeltaFault, FaultPlan, ReplicaFault};
 use crate::profile::score_all_transposed_capped;
 use crate::weights::feature_weights_into;
 use crate::workspace::{
@@ -63,6 +64,7 @@ pub struct Mgcpl {
     execution: ExecutionPlan,
     reconcile: Arc<dyn Reconcile>,
     warm_start: WarmStart,
+    fault: FaultPlan,
 }
 
 // Policies compare by descriptor (name + parameters): two learners with the
@@ -81,6 +83,7 @@ impl PartialEq for Mgcpl {
             && self.execution == other.execution
             && self.reconcile.describe() == other.reconcile.describe()
             && self.warm_start == other.warm_start
+            && self.fault == other.fault
     }
 }
 
@@ -99,6 +102,7 @@ pub struct MgcplBuilder {
     execution: ExecutionPlan,
     reconcile: Arc<dyn Reconcile>,
     warm_start: WarmStart,
+    fault: FaultPlan,
 }
 
 impl PartialEq for MgcplBuilder {
@@ -114,6 +118,7 @@ impl PartialEq for MgcplBuilder {
             && self.execution == other.execution
             && self.reconcile.describe() == other.reconcile.describe()
             && self.warm_start == other.warm_start
+            && self.fault == other.fault
     }
 }
 
@@ -131,6 +136,7 @@ impl Default for MgcplBuilder {
             execution: ExecutionPlan::Serial,
             reconcile: Arc::new(DeltaAverage),
             warm_start: WarmStart::Cold,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -252,26 +258,71 @@ impl MgcplBuilder {
         self
     }
 
+    /// Installs a fault-injection schedule for replicated plans (default
+    /// [`FaultPlan::none()`], which keeps the engine bit-exact with the
+    /// pre-fault behavior). Under an armed plan, replicated merges probe
+    /// the schedule per shard and degrade gracefully — bounded retries,
+    /// quarantine with survivor re-weighting, poisoned-δ rejection — as
+    /// specified in DESIGN.md §8; serial plans have no replicas to fail
+    /// and ignore the schedule.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
     /// Validates and builds the learner.
     ///
     /// # Panics
     ///
-    /// Panics if `learning_rate` is not in `(0, 1)`, a cap is zero, or the
-    /// reconciliation policy describes a momentum coefficient outside
-    /// `[0, 1)`.
+    /// Panics on any configuration [`try_build`](Self::try_build) rejects:
+    /// a non-finite or out-of-range `learning_rate`, a zero cap, a
+    /// reconciliation policy describing a momentum coefficient outside
+    /// `[0, 1)`, or an invalid [`FaultPlan`].
     pub fn build(self) -> Mgcpl {
-        assert!(
-            self.learning_rate > 0.0 && self.learning_rate < 1.0,
-            "learning rate must be in (0, 1)"
-        );
-        assert!(self.max_inner_iterations > 0, "max_inner_iterations must be positive");
-        assert!(self.max_stages > 0, "max_stages must be positive");
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validates and builds the learner, reporting bad configuration as an
+    /// error instead of panicking. Every real-valued knob is checked for
+    /// NaN/∞ here, at the builder boundary, so non-finite inputs never
+    /// propagate into the scoring kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdcError::InvalidConfig`] naming the offending parameter
+    /// if `learning_rate` is not finite or outside `(0, 1)`, a cap is
+    /// zero, the reconciliation policy describes a momentum coefficient
+    /// that is not finite or outside `[0, 1)`, or the [`FaultPlan`] fails
+    /// its own validation (a rate outside `[0, 1]`, a zero retry budget).
+    pub fn try_build(self) -> Result<Mgcpl, McdcError> {
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 || self.learning_rate >= 1.0
+        {
+            return Err(McdcError::InvalidConfig {
+                parameter: "learning_rate",
+                message: format!("must be a finite value in (0, 1), got {}", self.learning_rate),
+            });
+        }
+        if self.max_inner_iterations == 0 {
+            return Err(McdcError::InvalidConfig {
+                parameter: "max_inner_iterations",
+                message: "must be positive".to_string(),
+            });
+        }
+        if self.max_stages == 0 {
+            return Err(McdcError::InvalidConfig {
+                parameter: "max_stages",
+                message: "must be positive".to_string(),
+            });
+        }
         let beta = self.reconcile.describe().beta;
-        assert!(
-            (0.0..1.0).contains(&beta),
-            "reconcile momentum beta must be in [0, 1), got {beta}"
-        );
-        Mgcpl {
+        if !beta.is_finite() || !(0.0..1.0).contains(&beta) {
+            return Err(McdcError::InvalidConfig {
+                parameter: "reconcile.beta",
+                message: format!("momentum coefficient must be finite and in [0, 1), got {beta}"),
+            });
+        }
+        self.fault.validate()?;
+        Ok(Mgcpl {
             learning_rate: self.learning_rate,
             initial_k: self.initial_k,
             max_inner_iterations: self.max_inner_iterations,
@@ -283,7 +334,8 @@ impl MgcplBuilder {
             execution: self.execution,
             reconcile: self.reconcile,
             warm_start: self.warm_start,
-        }
+            fault: self.fault,
+        })
     }
 }
 
@@ -876,6 +928,7 @@ impl Mgcpl {
                         one_minus_rho,
                         prefactors,
                         post_scale,
+                        *merge_steps,
                         map,
                         replicated,
                         allocs,
@@ -1197,6 +1250,19 @@ impl Mgcpl {
     /// shuffle filtered to that span, so a one-shard plan degenerates to
     /// the serial order and results are deterministic for a fixed seed,
     /// shard count, and policy.
+    ///
+    /// Under an armed [`FaultPlan`] (DESIGN.md §8) the merge degrades
+    /// instead of failing: each replica probes the schedule per execution
+    /// attempt (`merge_step` is the fault plan's step coordinate) and a
+    /// crashed or deadline-exceeded replica is retried up to the plan's
+    /// attempt budget, then quarantined — its rows fall back to their
+    /// prior membership (or a frozen-snapshot rescore on the first pass),
+    /// the profile merge stays exact over all rows' final memberships,
+    /// and the δ blend re-weights over the surviving replicas. Poisoned
+    /// or dropped δ vectors are detected by finiteness/ω-bound checks and
+    /// excluded the same way. All of this is gated on
+    /// [`FaultPlan::is_none`], so the clean path is bit-exact with the
+    /// pre-fault engine.
     #[allow(clippy::too_many_arguments)]
     fn apply_replicated(
         &self,
@@ -1207,6 +1273,7 @@ impl Mgcpl {
         one_minus_rho: &[f64],
         prefactors: &[f64],
         post_scale: f64,
+        merge_step: u64,
         map: &ShardMap,
         rep: &mut ReplicatedScratch,
         allocs: &mut u64,
@@ -1241,12 +1308,55 @@ impl Mgcpl {
         // previous pass grew) and runs the shared `apply_span`.
         let snapshot: &Cohort = clusters;
         let frozen_assignment: &[Option<usize>] = assignment;
+        let fault = &self.fault;
         let slots_in = std::mem::take(&mut rep.slots);
         let slots: Vec<ReplicaSlot> = slots_in
             .into_par_iter()
             .map(|mut slot| {
                 slot.stats = HotPathStats::default();
                 slot.allocs = 0;
+                slot.failures = 0;
+                slot.retries = 0;
+                slot.quarantined = false;
+                slot.delta_dropped = false;
+                // Fault probe (DESIGN.md §8): decide this replica's fate
+                // before executing — each attempt re-draws the schedule,
+                // a deadline-exceeded straggler counts as a failed
+                // attempt, and exhausting the attempt budget quarantines
+                // the shard for this merge step. Deterministic per
+                // (step, shard, attempt), so the thread schedule cannot
+                // change the outcome.
+                if !fault.is_none() {
+                    let budget = fault.attempts();
+                    let mut attempt = 0usize;
+                    loop {
+                        let healthy = match fault.replica_fault(merge_step, slot.index, attempt) {
+                            ReplicaFault::Healthy => true,
+                            ReplicaFault::Fail => false,
+                            ReplicaFault::Straggle { delay } => !fault.deadline_exceeded(delay),
+                        };
+                        if healthy {
+                            break;
+                        }
+                        slot.failures += 1;
+                        attempt += 1;
+                        if attempt >= budget {
+                            slot.quarantined = true;
+                            break;
+                        }
+                        slot.retries += 1;
+                    }
+                }
+                if slot.quarantined {
+                    // The replica never delivers: clear its outputs so the
+                    // vote/write-back loops below see an empty verdict set
+                    // (`rows` stays intact — the profile rebuild still
+                    // needs the shard's owned-row span).
+                    slot.decisions.clear();
+                    slot.confidences.clear();
+                    slot.delta.clear();
+                    return slot;
+                }
                 match slot.cohort.as_mut() {
                     Some(cohort) => {
                         cohort.copy_from(snapshot, &mut slot.spare_profiles, &mut slot.allocs);
@@ -1280,6 +1390,25 @@ impl Mgcpl {
                 note_growth(&slot.delta, local_delta.len(), &mut slot.allocs);
                 slot.delta.clear();
                 slot.delta.extend_from_slice(local_delta);
+                // δ transit faults: corruption poisons one entry (NaN or
+                // an out-of-[0,1] value, alternating so both detector
+                // branches stay exercised); a drop loses the vector. The
+                // merge-side validity scan below catches both.
+                if !fault.is_none() && !slot.delta.is_empty() {
+                    match fault.delta_fault(merge_step, slot.index) {
+                        DeltaFault::Clean => {}
+                        DeltaFault::Drop => slot.delta_dropped = true,
+                        DeltaFault::Corrupt => {
+                            let idx = (merge_step as usize + slot.index) % slot.delta.len();
+                            slot.delta[idx] = if (merge_step + slot.index as u64).is_multiple_of(2)
+                            {
+                                f64::NAN
+                            } else {
+                                4.0
+                            };
+                        }
+                    }
+                }
                 slot
             })
             .collect();
@@ -1307,6 +1436,11 @@ impl Mgcpl {
                 }
             }
             for (&i, row_votes) in map.halo_rows.iter().zip(&rep.votes) {
+                // Every replica that would have presented this halo row
+                // was quarantined: leave it to the orphan fallback below.
+                if row_votes.is_empty() {
+                    continue;
+                }
                 let c = self.reconcile.resolve(row_votes);
                 // `resolve` is a public extension hook: catch a policy that
                 // invents a cluster here, where the policy can be named,
@@ -1324,6 +1458,44 @@ impl Mgcpl {
             for slot in &slots {
                 for (&i, &c) in slot.rows.iter().zip(&slot.decisions) {
                     rep.final_of[i] = c;
+                }
+            }
+        }
+
+        // Quarantine accounting and the orphan fallback (DESIGN.md §8):
+        // rows whose every presenting replica was quarantined carry no
+        // verdict, so they keep their prior membership — or, on a first
+        // pass without one, are re-scored against the frozen pass-start
+        // state (value-major matrix and prefactors are still the
+        // snapshot's at this point; the profile merge below then stays
+        // exact over every row's final membership). Gated on an actual
+        // quarantine so the clean path never touches any of this.
+        for slot in &slots {
+            stats.replica_failures += slot.failures;
+            stats.retries += slot.retries;
+        }
+        let quarantined = slots.iter().filter(|s| s.quarantined).count();
+        if quarantined > 0 {
+            stats.quarantined_shards += quarantined as u64;
+            let permille = ((map.n_shards - quarantined) as u64 * 1000) / map.n_shards as u64;
+            stats.min_survivor_permille = stats.min_survivor_permille.min(permille);
+            resize_tracked(&mut rep.fallback_accumulators, k, 0.0, allocs);
+            for i in 0..n {
+                if rep.final_of[i] == usize::MAX {
+                    rep.final_of[i] = match assignment[i] {
+                        Some(c) => c,
+                        None => {
+                            score_all_transposed(
+                                table.row(i),
+                                clusters.layout.offsets(),
+                                &clusters.value_major,
+                                post_scale,
+                                prefactors,
+                                &mut rep.fallback_accumulators,
+                            )
+                            .0
+                        }
+                    };
                 }
             }
         }
@@ -1403,19 +1575,42 @@ impl Mgcpl {
             profile.copy_from_profile(merged);
         }
 
-        // δ consensus: span-size-weighted average, then the policy's blend
-        // against the pass-start value.
-        let total_presented: f64 = slots.iter().map(|s| s.rows.len() as f64).sum();
+        // δ consensus: span-size-weighted average over the replicas whose
+        // δ actually arrived intact, then the policy's blend against the
+        // pass-start value. A δ participates only if its replica survived,
+        // the vector wasn't dropped in transit, and every entry is finite
+        // and inside the `[0, 1]` ω-clamp the learning rule guarantees —
+        // the poisoned-δ detector of DESIGN.md §8. With every replica
+        // clean (always the case under `FaultPlan::none()`) the filter
+        // passes everything and the arithmetic is the historical one.
+        let mut rejected = 0u64;
+        for slot in &mut slots {
+            let intact = slot.delta.len() == k
+                && slot.delta.iter().all(|d| d.is_finite() && (0.0..=1.0).contains(d));
+            slot.delta_ok = !slot.quarantined && !slot.delta_dropped && intact;
+            if !slot.quarantined && !slot.delta_ok {
+                rejected += 1;
+            }
+        }
+        stats.rejected_deltas += rejected;
+        let total_presented: f64 =
+            slots.iter().filter(|s| s.delta_ok).map(|s| s.rows.len() as f64).sum();
         copy_into(&mut rep.pass_start_delta, &clusters.delta, allocs);
         resize_tracked(&mut rep.blended, k, 0.0, allocs);
         rep.blended.fill(0.0);
-        for slot in &slots {
-            let weight = slot.rows.len() as f64 / total_presented;
-            for (blended, &delta) in rep.blended.iter_mut().zip(&slot.delta) {
-                *blended += weight * delta;
+        if total_presented > 0.0 {
+            for slot in slots.iter().filter(|s| s.delta_ok) {
+                let weight = slot.rows.len() as f64 / total_presented;
+                for (blended, &delta) in rep.blended.iter_mut().zip(&slot.delta) {
+                    *blended += weight * delta;
+                }
             }
+            self.reconcile.blend_delta(&rep.pass_start_delta, &mut rep.blended);
+        } else {
+            // Every replica's δ was lost this pass: keep the pass-start δ
+            // rather than blending toward zero.
+            rep.blended.copy_from_slice(&rep.pass_start_delta);
         }
-        self.reconcile.blend_delta(&rep.pass_start_delta, &mut rep.blended);
         clusters.delta.copy_from_slice(&rep.blended);
 
         // Fold the worker-local counters back into the fit's totals.

@@ -6,8 +6,8 @@ use std::sync::Arc;
 use categorical_data::CategoricalTable;
 
 use crate::{
-    encode_mgcpl, Came, CameInit, CameResult, ExecutionPlan, McdcError, Mgcpl, MgcplResult,
-    Reconcile, WarmStart, Workspace,
+    encode_mgcpl, Came, CameInit, CameResult, ExecutionPlan, FaultPlan, McdcError, Mgcpl,
+    MgcplResult, Reconcile, WarmStart, Workspace,
 };
 
 /// The full MCDC clusterer. Construct via [`Mcdc::builder`].
@@ -46,6 +46,7 @@ pub struct McdcBuilder {
     reconcile: Option<Arc<dyn Reconcile>>,
     lazy_scoring: Option<bool>,
     warm_start: Option<WarmStart>,
+    fault_plan: Option<FaultPlan>,
     seed: u64,
 }
 
@@ -63,6 +64,7 @@ impl PartialEq for McdcBuilder {
                 == other.reconcile.as_ref().map(|p| p.describe())
             && self.lazy_scoring == other.lazy_scoring
             && self.warm_start == other.warm_start
+            && self.fault_plan == other.fault_plan
             && self.seed == other.seed
     }
 }
@@ -174,6 +176,18 @@ impl McdcBuilder {
         self
     }
 
+    /// Installs a fault-injection schedule for the MGCPL stage's
+    /// replicated merges (default [`FaultPlan::none()`], bit-exact with
+    /// the pre-fault pipeline). See
+    /// [`MgcplBuilder::fault_plan`](crate::MgcplBuilder::fault_plan) for
+    /// the degradation semantics; CAME's parallel paths are exact
+    /// reductions with no replica state to lose, so the schedule applies
+    /// to the learning stage only.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Seeds all randomized choices.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -184,8 +198,23 @@ impl McdcBuilder {
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range parameters (see [`Mgcpl::builder`]).
+    /// Panics on any configuration [`try_build`](Self::try_build) rejects.
     pub fn build(self) -> Mcdc {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the pipeline, reporting bad configuration — a non-finite
+    /// learning rate or momentum coefficient, a zero cap, an invalid
+    /// [`FaultPlan`] — as [`McdcError::InvalidConfig`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdcError::InvalidConfig`] naming the offending
+    /// parameter (see
+    /// [`MgcplBuilder::try_build`](crate::MgcplBuilder::try_build) for
+    /// the exact checks).
+    pub fn try_build(self) -> Result<Mcdc, McdcError> {
         let mut mgcpl = Mgcpl::builder().seed(self.seed);
         if let Some(eta) = self.learning_rate {
             mgcpl = mgcpl.learning_rate(eta);
@@ -217,7 +246,10 @@ impl McdcBuilder {
         if let Some(warm) = self.warm_start {
             mgcpl = mgcpl.warm_start(warm);
         }
-        Mcdc { mgcpl: mgcpl.build(), came: came.build() }
+        if let Some(plan) = self.fault_plan {
+            mgcpl = mgcpl.fault_plan(plan);
+        }
+        Ok(Mcdc { mgcpl: mgcpl.try_build()?, came: came.build() })
     }
 }
 

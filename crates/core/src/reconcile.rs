@@ -29,6 +29,17 @@
 //! every policy and *not* configurable: those parts are already exact, so
 //! there is nothing to trade.
 //!
+//! **Degraded merges.** Under an armed [`FaultPlan`](crate::FaultPlan) a
+//! merge step may lose inputs: quarantined replicas present no δ, and a
+//! surviving replica's δ can arrive dropped or poisoned (NaN, non-finite,
+//! or outside the `[0, 1]` ω-clamp — counted in
+//! [`HotPathStats::rejected_deltas`](crate::HotPathStats::rejected_deltas)).
+//! The engine filters those *before* calling [`Reconcile::blend_delta`]
+//! and re-weights the shard-size average over the survivors, so a policy
+//! never observes an invalid δ; when every input is lost the blend is
+//! skipped entirely and the pass-start δ carries forward unchanged.
+//! Policies therefore need no fault handling of their own (DESIGN.md §8).
+//!
 //! # Example
 //!
 //! ```

@@ -15,6 +15,12 @@
 //! stream so far). The re-fit itself runs through the learner's configured
 //! [`ExecutionPlan`](crate::ExecutionPlan), so a mini-batch plan
 //! parallelizes the re-fit exactly like a batch fit.
+//!
+//! Re-fits are checkpointed (DESIGN.md §8): the currently served
+//! granularities are the checkpoint, and a re-fit that the engine reports
+//! as degraded below the stream's survivor quorum — replicas lost to an
+//! armed [`FaultPlan`](crate::FaultPlan) — is rolled back instead of
+//! installed, so a half-merged model is never served.
 
 use categorical_data::CategoricalTable;
 use rand::Rng;
@@ -70,6 +76,12 @@ pub struct StreamingMcdc {
     n_seen: usize,
     /// Summary of the most recent [`StreamingMcdc::refit`].
     last_refit: MgcplResultSummary,
+    /// Minimum survivor fraction a re-fit must report to be installed.
+    survivor_quorum: f64,
+    /// Re-fits rolled back for missing the quorum.
+    rollbacks: u64,
+    /// Whether the most recent re-fit was rolled back.
+    last_refit_degraded: bool,
     /// Persistent fit scratch: every re-fit (and the bootstrap) checks its
     /// pass buffers out of here instead of reallocating, so a long-lived
     /// stream's re-fits run allocation-free once warm. (Cloning a stream
@@ -103,8 +115,49 @@ impl StreamingMcdc {
             reservoir_rng: ChaCha8Rng::seed_from_u64(0x9E37_79B9_7F4A_7C15),
             n_seen: batch.n_rows(),
             last_refit,
+            survivor_quorum: 0.5,
+            rollbacks: 0,
+            last_refit_degraded: false,
             workspace,
         })
+    }
+
+    /// Sets the survivor quorum (default 0.5): a re-fit whose worst
+    /// per-merge-step survivor fraction
+    /// ([`HotPathStats::min_survivor_permille`](crate::HotPathStats::min_survivor_permille))
+    /// lands strictly below this fraction is rolled back instead of
+    /// installed. `0.0` disables rollback (every re-fit installs); `1.0`
+    /// accepts only re-fits that never lost a replica. Fault-free fits
+    /// report full survivorship, so the quorum only ever bites under an
+    /// armed [`FaultPlan`](crate::FaultPlan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quorum` is not finite or not in `[0, 1]`.
+    pub fn with_survivor_quorum(mut self, quorum: f64) -> Self {
+        assert!(
+            quorum.is_finite() && (0.0..=1.0).contains(&quorum),
+            "survivor quorum must be finite and in [0, 1]"
+        );
+        self.survivor_quorum = quorum;
+        self
+    }
+
+    /// The configured survivor quorum (see
+    /// [`with_survivor_quorum`](Self::with_survivor_quorum)).
+    pub fn survivor_quorum(&self) -> f64 {
+        self.survivor_quorum
+    }
+
+    /// Number of re-fits rolled back for missing the survivor quorum.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// Whether the most recent [`refit`](Self::refit) was rolled back
+    /// (the served granularities are still the pre-re-fit checkpoint).
+    pub fn last_refit_degraded(&self) -> bool {
+        self.last_refit_degraded
     }
 
     /// Sets the similarity threshold under which arrivals count toward the
@@ -240,14 +293,30 @@ impl StreamingMcdc {
     /// clone), and all pass scratch comes from the stream's persistent
     /// [`Workspace`] — so steady-state re-fits allocate only their output.
     ///
+    /// Checkpoint/rollback (DESIGN.md §8): when the learner carries an
+    /// armed [`FaultPlan`](crate::FaultPlan) and the fit's worst
+    /// per-merge-step survivor fraction lands strictly below the stream's
+    /// [survivor quorum](Self::with_survivor_quorum), the degraded result
+    /// is discarded — the previously installed granularities keep serving,
+    /// [`rollbacks`](Self::rollbacks) increments, and
+    /// [`last_refit_degraded`](Self::last_refit_degraded) reports the
+    /// rollback. The drift statistics reset either way, so a persistent
+    /// fault schedule cannot pin the stream in a hot re-fit loop.
+    ///
     /// # Errors
     ///
     /// Propagates [`McdcError`] from the underlying MGCPL fit.
     pub fn refit(&mut self) -> Result<&MgcplResultSummary, McdcError> {
         let result = self.mgcpl.fit_adapted(&self.buffer, &mut self.workspace)?;
-        self.granularities = build_profiles(&self.buffer, &result);
         self.drifted = 0;
         self.arrived = 0;
+        if result.stats.survivor_fraction() < self.survivor_quorum {
+            self.rollbacks += 1;
+            self.last_refit_degraded = true;
+            return Ok(&self.last_refit);
+        }
+        self.last_refit_degraded = false;
+        self.granularities = build_profiles(&self.buffer, &result);
         self.last_refit =
             MgcplResultSummary { kappa: result.kappa, sigma: result.partitions.len() };
         Ok(&self.last_refit)
@@ -519,5 +588,68 @@ mod tests {
         let mut stream =
             StreamingMcdc::bootstrap(Mgcpl::builder().seed(1).build(), data.table()).unwrap();
         stream.absorb(&[0, 1]);
+    }
+
+    #[test]
+    fn refit_rolls_back_below_the_survivor_quorum() {
+        use crate::{ExecutionPlan, FaultPlan};
+        let data = batch(13);
+        // Every attempt of every replica crashes with no retry headroom:
+        // each merge step quarantines all shards, so the fit reports a
+        // survivor fraction of 0 — strictly below any positive quorum.
+        let mgcpl = Mgcpl::builder()
+            .seed(1)
+            .execution(ExecutionPlan::mini_batch(75))
+            .fault_plan(FaultPlan::seeded(7).replica_failure_rate(1.0).retry_budget(1))
+            .build();
+        let mut stream =
+            StreamingMcdc::bootstrap(mgcpl, data.table()).unwrap().with_survivor_quorum(0.5);
+        assert_eq!(stream.survivor_quorum(), 0.5);
+        let kappa_before = stream.kappa();
+        for i in 0..50 {
+            stream.absorb(data.table().row(i));
+        }
+        let summary_before = stream.refit().unwrap().clone();
+        assert!(stream.last_refit_degraded(), "total replica loss must trigger rollback");
+        assert_eq!(stream.rollbacks(), 1);
+        // The checkpoint keeps serving: granularities are untouched and the
+        // summary is still the last accepted one.
+        assert_eq!(stream.kappa(), kappa_before);
+        assert_eq!(stream.refit().unwrap(), &summary_before, "every degraded refit rolls back");
+        assert_eq!(stream.rollbacks(), 2);
+        // Drift statistics reset despite the rollback — no hot refit loop.
+        assert_eq!(stream.drift_ratio(), 0.0);
+    }
+
+    #[test]
+    fn clean_refits_never_roll_back() {
+        use crate::{ExecutionPlan, FaultPlan};
+        let data = batch(14);
+        // An armed plan whose failures are always recovered by the retry
+        // budget keeps full shard coverage: no merge step loses a shard,
+        // so even the strictest quorum accepts the re-fit.
+        let mgcpl = Mgcpl::builder()
+            .seed(1)
+            .execution(ExecutionPlan::mini_batch(75))
+            .fault_plan(FaultPlan::none().fail_replica(0, 1))
+            .build();
+        let mut stream =
+            StreamingMcdc::bootstrap(mgcpl, data.table()).unwrap().with_survivor_quorum(1.0);
+        for i in 0..50 {
+            stream.absorb(data.table().row(i));
+        }
+        let summary = stream.refit().unwrap();
+        assert!(summary.sigma >= 1);
+        assert!(!stream.last_refit_degraded());
+        assert_eq!(stream.rollbacks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "survivor quorum")]
+    fn non_finite_quorum_is_rejected() {
+        let data = batch(5);
+        let stream =
+            StreamingMcdc::bootstrap(Mgcpl::builder().seed(1).build(), data.table()).unwrap();
+        let _ = stream.with_survivor_quorum(f64::NAN);
     }
 }

@@ -182,6 +182,17 @@ pub(crate) struct ReplicaSlot {
     pub(crate) stats: HotPathStats,
     /// Buffer-growth events inside the worker, folded after join.
     pub(crate) allocs: u64,
+    /// Injected execution failures this pass (one per failed attempt).
+    pub(crate) failures: u64,
+    /// Failed attempts re-executed within the attempt budget.
+    pub(crate) retries: u64,
+    /// Whether the replica exhausted its budget and sat out this merge.
+    pub(crate) quarantined: bool,
+    /// Whether the replica's merge δ was dropped in transit.
+    pub(crate) delta_dropped: bool,
+    /// Whether this replica's δ participates in the blend (survivor with
+    /// an intact, in-bounds δ).
+    pub(crate) delta_ok: bool,
 }
 
 /// Scratch for replicated (mini-batch / sharded) MGCPL passes.
@@ -203,6 +214,10 @@ pub(crate) struct ReplicatedScratch {
     pub(crate) blended: Vec<f64>,
     /// Pass-start δ handed to the reconcile policy's blend.
     pub(crate) pass_start_delta: Vec<f64>,
+    /// Scoring accumulators for the orphan fallback: rows of quarantined
+    /// shards re-scored against the frozen pass-start cohort (DESIGN.md
+    /// §8).
+    pub(crate) fallback_accumulators: Vec<f64>,
 }
 
 /// Scratch for one MGCPL fit.

@@ -12,7 +12,11 @@
 # regressions surface immediately too. The reconcile smoke
 # (`reconcile_ablation --quick`) runs a tiny quality-recovery grid and
 # fails on panics, non-finite metrics, or a rotating policy that never
-# rotates.
+# rotates. The chaos smoke (`fault_chaos --quick`) runs the fault arms
+# (retry, quarantine, probabilistic chaos) on a small grid and fails on
+# panics, non-finite metrics, a chaos arm that never injects a failure,
+# a retry arm that diverges from the clean labels, or a quarantined fit
+# dropping more than 0.05 mean ACC below clean.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,5 +43,8 @@ cargo run --release -p mcdc-bench --bin hotpath_snapshot -- --quick
 
 echo "==> reconcile smoke (reconcile_ablation --quick)"
 cargo run --release -p mcdc-bench --bin reconcile_ablation -- --quick
+
+echo "==> chaos smoke (fault_chaos --quick)"
+cargo run --release -p mcdc-bench --bin fault_chaos -- --quick
 
 echo "verify: OK"
