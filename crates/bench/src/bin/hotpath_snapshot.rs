@@ -16,6 +16,13 @@
 //! persistent [`Workspace`], so their `allocations_per_pass` reflects the
 //! warm steady state a long-lived service sees.
 //!
+//! Beyond the n sweep, the full run adds a **large-`d·k` shape sweep**
+//! (`shape` column: d ∈ {32, 96, 192}, cardinalities 8/16 at n = 3k, so
+//! the value-major scoring matrix grows from ~112 KB to ~1.3 MB — well
+//! past L2): interleaved `mgcpl_explore` vs `mgcpl_lazy` fits in exactly
+//! the regime where the capped pruning was predicted to win (ROADMAP
+//! standing item; verdict recorded in DESIGN.md §3).
+//!
 //! Usage: `cargo run --release -p mcdc-bench --bin hotpath_snapshot
 //!        [--out PATH] [--seed N] [--sizes a,b,c] [--quick]`
 //!
@@ -28,13 +35,15 @@
 
 use std::time::Instant;
 
-use categorical_data::synth::scaling;
+use categorical_data::synth::{scaling, GeneratorConfig};
 use mcdc_core::{encode_mgcpl, Came, DeltaMomentum, ExecutionPlan, HotPathStats, Mgcpl, Workspace};
 
 struct Entry {
     stage: &'static str,
     engine: &'static str,
     n: usize,
+    /// Non-empty for the large-`d·k` shape-sweep rows.
+    shape: &'static str,
     median_ms: f64,
     rows_per_s: f64,
     /// Pruning/workspace counters for lazy rows.
@@ -58,12 +67,13 @@ fn main() {
     let mut entries: Vec<Entry> = Vec::new();
 
     println!(
-        "{:<18} {:>10} {:>8} {:>6} {:>12} {:>14} {:>10} {:>12}",
-        "stage", "engine", "n", "reps", "median ms", "rows/s", "skipped", "allocs/pass"
+        "{:<18} {:>10} {:>8} {:>9} {:>6} {:>12} {:>14} {:>10} {:>12}",
+        "stage", "engine", "n", "shape", "reps", "median ms", "rows/s", "skipped", "allocs/pass"
     );
     let mut push = |stage: &'static str,
                     engine: &'static str,
                     n: usize,
+                    shape: &'static str,
                     reps: usize,
                     ms: f64,
                     stats: Option<HotPathStats>| {
@@ -71,10 +81,11 @@ fn main() {
         let (skipped, apg) = stats.map_or((String::from("-"), String::from("-")), |s| {
             (s.skipped_rescans.to_string(), format!("{:.2}", s.allocations_per_pass()))
         });
+        let shape_col = if shape.is_empty() { "-" } else { shape };
         println!(
-            "{stage:<18} {engine:>10} {n:>8} {reps:>6} {ms:>12.3} {rows_per_s:>14.0} {skipped:>10} {apg:>12}"
+            "{stage:<18} {engine:>10} {n:>8} {shape_col:>9} {reps:>6} {ms:>12.3} {rows_per_s:>14.0} {skipped:>10} {apg:>12}"
         );
-        entries.push(Entry { stage, engine, n, median_ms: ms, rows_per_s, stats });
+        entries.push(Entry { stage, engine, n, shape, median_ms: ms, rows_per_s, stats });
     };
 
     for &n in &args.sizes {
@@ -136,10 +147,10 @@ fn main() {
                 std::hint::black_box(momentum.fit(data.table()).expect("fit succeeds"));
             }));
         }
-        push("mgcpl_explore", "serial", n, reps, median(eager_samples), None);
-        push("mgcpl_lazy", "lazy", n, reps, median(lazy_samples), Some(lazy_stats));
-        push("mgcpl_minibatch", "minibatch", n, reps, median(minibatch_samples), None);
-        push("mgcpl_momentum", "momentum", n, reps, median(momentum_samples), None);
+        push("mgcpl_explore", "serial", n, "", reps, median(eager_samples), None);
+        push("mgcpl_lazy", "lazy", n, "", reps, median(lazy_samples), Some(lazy_stats));
+        push("mgcpl_minibatch", "minibatch", n, "", reps, median(minibatch_samples), None);
+        push("mgcpl_momentum", "momentum", n, "", reps, median(momentum_samples), None);
 
         let encode_samples: Vec<f64> = (0..reps)
             .map(|_| {
@@ -148,7 +159,7 @@ fn main() {
                 })
             })
             .collect();
-        push("encode_gamma", "serial", n, reps, median(encode_samples), None);
+        push("encode_gamma", "serial", n, "", reps, median(encode_samples), None);
 
         // CAME eager vs lazy, interleaved like the MGCPL engines. The
         // default builder enables the chunked-parallel paths (exact, so
@@ -169,8 +180,46 @@ fn main() {
                 std::hint::black_box(result);
             }));
         }
-        push("came_aggregate", "eager", n, reps, median(came_eager_samples), None);
-        push("came_lazy", "lazy", n, reps, median(came_lazy_samples), Some(came_stats));
+        push("came_aggregate", "eager", n, "", reps, median(came_eager_samples), None);
+        push("came_lazy", "lazy", n, "", reps, median(came_lazy_samples), Some(came_stats));
+    }
+
+    // Large-`d·k` shape sweep (full runs only — the quick gate stays
+    // fast): eager vs lazy MGCPL interleaved at n = 3k with k₀ = √n ≈ 55
+    // and wide, high-cardinality schemas, so the value-major scoring
+    // matrix (d · m · k₀ · 8 bytes) grows from ~112 KB through ~1.3 MB —
+    // the out-of-L2 regime where the capped pruning's skipped sweeps were
+    // predicted to start paying for the cap maintenance (DESIGN.md §3,
+    // ROADMAP standing item).
+    if !args.quick {
+        const DK_N: usize = 3_000;
+        const DK_SHAPES: &[(&str, usize, u32)] =
+            &[("d32m8", 32, 8), ("d96m8", 96, 8), ("d192m16", 192, 16)];
+        for &(name, d, m) in DK_SHAPES {
+            let reps = 3;
+            let data = GeneratorConfig::new(name, DK_N, vec![m; d], 3)
+                .noise(0.05)
+                .generate(args.seed)
+                .dataset;
+            let eager = Mgcpl::builder().seed(1).lazy_scoring(false).build();
+            let lazy = Mgcpl::builder().seed(1).build();
+            let mut lazy_ws = Workspace::new();
+            let mut eager_samples = Vec::with_capacity(reps);
+            let mut lazy_samples = Vec::with_capacity(reps);
+            let mut lazy_stats = HotPathStats::default();
+            for _ in 0..reps {
+                eager_samples.push(time_ms(|| {
+                    std::hint::black_box(eager.fit(data.table()).expect("fit succeeds"));
+                }));
+                lazy_samples.push(time_ms(|| {
+                    let result = lazy.fit_with(data.table(), &mut lazy_ws).expect("fit succeeds");
+                    lazy_stats = result.stats;
+                    std::hint::black_box(result);
+                }));
+            }
+            push("mgcpl_explore", "serial", DK_N, name, reps, median(eager_samples), None);
+            push("mgcpl_lazy", "lazy", DK_N, name, reps, median(lazy_samples), Some(lazy_stats));
+        }
     }
 
     let json = render_json(&entries, args.seed);
@@ -241,11 +290,17 @@ fn render_json(entries: &[Entry], seed: u64) -> String {
                 s.allocations_per_pass()
             )
         });
+        let shape = if e.shape.is_empty() {
+            String::new()
+        } else {
+            format!(", \"shape\": \"{}\"", e.shape)
+        };
         out.push_str(&format!(
-            "    {{\"stage\": \"{}\", \"engine\": \"{}\", \"n\": {}, \"median_ms\": {:.3}, \"rows_per_s\": {:.0}{}}}{}\n",
+            "    {{\"stage\": \"{}\", \"engine\": \"{}\", \"n\": {}{}, \"median_ms\": {:.3}, \"rows_per_s\": {:.0}{}}}{}\n",
             e.stage,
             e.engine,
             e.n,
+            shape,
             e.median_ms,
             e.rows_per_s,
             counters,

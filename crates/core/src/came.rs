@@ -17,9 +17,7 @@
 //! here, or [`McdcBuilder::execution`](crate::McdcBuilder::execution) to
 //! configure the whole pipeline at once (any replicated
 //! [`ExecutionPlan`](crate::ExecutionPlan) enables them; small inputs fall
-//! back to the serial path anyway). The historical CAME-only
-//! `CameBuilder::parallel` switch is deprecated and kept only as a
-//! forwarding shim. See `DESIGN.md` §"Hot path".
+//! back to the serial path anyway). See `DESIGN.md` §"Hot path".
 
 use categorical_data::{CategoricalTable, CsrLayout, MISSING};
 use rand::seq::SliceRandom;
@@ -164,41 +162,6 @@ impl CameBuilder {
     /// configures MGCPL and CAME together.
     pub fn execution(mut self, plan: ExecutionPlan) -> Self {
         self.parallel = plan.is_parallel();
-        self
-    }
-
-    /// Toggles the rayon-parallel assignment/update paths (on by default).
-    /// Both paths produce bit-identical results; `false` forces the serial
-    /// sweep, which is useful for measuring the parallel speedup and for
-    /// asserting the equivalence in tests.
-    ///
-    /// # Migration
-    ///
-    /// This CAME-only switch predates the unified execution engine and
-    /// will be removed once downstream callers have moved. Translate as
-    /// follows:
-    ///
-    /// * `.parallel(true)` → `.execution(ExecutionPlan::mini_batch(b))`
-    ///   for any replicated plan (CAME only reads
-    ///   [`ExecutionPlan::is_parallel`], so the batch size is free to be
-    ///   whatever suits the MGCPL stage);
-    /// * `.parallel(false)` → `.execution(ExecutionPlan::Serial)`;
-    /// * callers configuring the whole pipeline should set the plan once
-    ///   via [`McdcBuilder::execution`](crate::McdcBuilder::execution) —
-    ///   and, for replicated plans, pick the MGCPL merge semantics via
-    ///   [`McdcBuilder::reconcile`](crate::McdcBuilder::reconcile) — and
-    ///   drop the CAME-only toggle entirely.
-    ///
-    /// Because both CAME paths are exact, the migration never changes
-    /// results — only which code path computes them.
-    #[deprecated(
-        since = "0.1.0",
-        note = "the CAME-only switch is superseded by the unified engine: use \
-                `CameBuilder::execution` or configure the whole pipeline via \
-                `McdcBuilder::execution`"
-    )]
-    pub fn parallel(mut self, on: bool) -> Self {
-        self.parallel = on;
         self
     }
 
@@ -1032,13 +995,5 @@ mod tests {
         let serial =
             Came::builder().execution(ExecutionPlan::Serial).build().fit(&encoding, 2).unwrap();
         assert_eq!(parallel, serial);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_parallel_switch_still_works() {
-        let via_flag = Came::builder().parallel(false).build();
-        let via_plan = Came::builder().execution(ExecutionPlan::Serial).build();
-        assert_eq!(via_flag, via_plan);
     }
 }

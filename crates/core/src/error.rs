@@ -20,6 +20,13 @@ pub enum McdcError {
         /// Human-readable constraint description.
         message: String,
     },
+    /// A serialized [`FrozenModel`](crate::FrozenModel) image failed
+    /// validation (I/O failure, truncation, wrong magic, unsupported
+    /// format version, or an inconsistent shape header).
+    CorruptModel {
+        /// Human-readable description of the first violated invariant.
+        message: String,
+    },
     /// An [`ExecutionPlan`](crate::ExecutionPlan)'s row sharding is invalid
     /// for the input: zero batch size, batch larger than `n`, or an
     /// empty/overlapping/incomplete explicit shard set.
@@ -38,6 +45,9 @@ impl fmt::Display for McdcError {
             }
             McdcError::InvalidConfig { parameter, message } => {
                 write!(f, "invalid configuration for {parameter}: {message}")
+            }
+            McdcError::CorruptModel { message } => {
+                write!(f, "corrupt frozen model: {message}")
             }
             McdcError::InvalidShards { message } => {
                 write!(f, "invalid execution shards: {message}")

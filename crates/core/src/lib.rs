@@ -27,6 +27,10 @@
 //! * [`StreamingMcdc`] — online absorption with drift-triggered re-fits
 //!   over a bounded reservoir, rolling back re-fits that degrade below a
 //!   survivor quorum;
+//! * [`FrozenModel`] — fitted models compacted into read-only, cache-dense
+//!   scoring tables for the serving hot path: `score_one`/`score_batch`
+//!   match the live kernels' argmax bit for bit, and the versioned
+//!   save/load roundtrip is bit-exact (DESIGN.md §9);
 //! * [`Workspace`] / [`WorkspacePool`] — reusable pass-scratch arenas:
 //!   `fit_with` runs repeated fits allocation-free once warm, and
 //!   [`HotPathStats`] reports the lazy-scoring pruning rate and workspace
@@ -62,6 +66,7 @@ mod encoding;
 mod error;
 mod execution;
 mod fault;
+mod frozen;
 mod mgcpl;
 mod pipeline;
 mod profile;
@@ -79,6 +84,7 @@ pub use encoding::{encode_mgcpl, encode_partitions};
 pub use error::McdcError;
 pub use execution::{ExecutionPlan, WarmStart};
 pub use fault::{DeltaFault, FaultPlan, ReplicaFault};
+pub use frozen::FrozenModel;
 pub use mgcpl::{Mgcpl, MgcplBuilder, MgcplResult};
 pub use pipeline::{Mcdc, McdcBuilder, McdcResult};
 pub use profile::{score_all, score_all_transposed, ClusterProfile};

@@ -379,6 +379,48 @@ impl MgcplResult {
     pub fn sigma(&self) -> usize {
         self.partitions.len()
     }
+
+    /// Compacts the served (coarsest) granularity into a read-only
+    /// [`FrozenModel`](crate::FrozenModel) over `table` — the table this
+    /// result was fitted on, which the result itself does not retain. The
+    /// frozen `score_one` reproduces, bit for bit on the final argmax, the
+    /// live [`score_all`](crate::score_all) assignment against the
+    /// coarsest partition's cluster profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdcError::InvalidConfig`] when `table` does not have one
+    /// row per partition label (i.e. it is not the fitted table).
+    pub fn freeze(&self, table: &CategoricalTable) -> Result<crate::FrozenModel, McdcError> {
+        self.freeze_level(table, self.sigma() - 1)
+    }
+
+    /// [`freeze`](Self::freeze) for an arbitrary granularity `level`
+    /// (finest first, `0..sigma()`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`freeze`](Self::freeze), plus
+    /// [`McdcError::InvalidConfig`] for an out-of-range `level`.
+    pub fn freeze_level(
+        &self,
+        table: &CategoricalTable,
+        level: usize,
+    ) -> Result<crate::FrozenModel, McdcError> {
+        let (partition, &k) = match (self.partitions.get(level), self.kappa.get(level)) {
+            (Some(p), Some(k)) => (p, k),
+            _ => {
+                return Err(McdcError::InvalidConfig {
+                    parameter: "level",
+                    message: format!(
+                        "granularity level {level} is out of range for sigma = {}",
+                        self.sigma()
+                    ),
+                })
+            }
+        };
+        crate::FrozenModel::from_partition(table, partition, k)
+    }
 }
 
 /// The sigmoid cluster weight of Eq. (11): `u = 1 / (1 + e^(−10δ+5))`.

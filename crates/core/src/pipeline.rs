@@ -105,8 +105,7 @@ impl McdcBuilder {
     /// formulation (semantics documented in `DESIGN.md` §4); CAME derives
     /// its chunked-parallel toggle from the same plan (its parallel paths
     /// are exact, so only MGCPL's semantics depend on the choice). Default
-    /// [`ExecutionPlan::Serial`]. Supersedes the deprecated CAME-only
-    /// `CameBuilder::parallel` switch.
+    /// [`ExecutionPlan::Serial`].
     pub fn execution(mut self, plan: ExecutionPlan) -> Self {
         self.execution = Some(plan);
         self
@@ -283,6 +282,21 @@ impl McdcResult {
     /// clusterer to build an `MCDC+X` variant.
     pub fn encoding(&self) -> &CategoricalTable {
         &self.encoding
+    }
+
+    /// Compacts the final `k`-cluster partition into a read-only
+    /// [`FrozenModel`](crate::FrozenModel) over `table` — the raw table
+    /// this result was fitted on (the result retains only the Γ encoding,
+    /// not the input). Serving then needs neither stage's learning state:
+    /// the frozen `score_one` assigns raw rows to the final clusters with
+    /// the live kernels' exact argmax semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdcError::InvalidConfig`] when `table` does not have one
+    /// row per final label (i.e. it is not the fitted table).
+    pub fn freeze(&self, table: &CategoricalTable) -> Result<crate::FrozenModel, McdcError> {
+        crate::FrozenModel::from_partition(table, &self.labels, self.came.modes().len())
     }
 }
 

@@ -21,13 +21,23 @@
 //! as degraded below the stream's survivor quorum — replicas lost to an
 //! armed [`FaultPlan`](crate::FaultPlan) — is rolled back instead of
 //! installed, so a half-merged model is never served.
+//!
+//! Serving reads go through a **frozen snapshot** (DESIGN.md §9), not the
+//! live learner: [`StreamingMcdc::serve_one`] answers from a compacted
+//! [`FrozenModel`] of the served (coarsest) granularity, and the
+//! drift-stat accessors ([`sigma`](StreamingMcdc::sigma),
+//! [`kappa`](StreamingMcdc::kappa)) report the same snapshot. The snapshot
+//! swaps only when a re-fit is accepted — [`absorb`](StreamingMcdc::absorb)
+//! keeps updating the learner's profiles in between, and a rolled-back
+//! re-fit leaves the snapshot untouched — so serving reads stay consistent
+//! through re-fits and rollbacks alike.
 
 use categorical_data::CategoricalTable;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::{ClusterProfile, McdcError, Mgcpl, MgcplResult, Workspace};
+use crate::{ClusterProfile, FrozenModel, McdcError, Mgcpl, MgcplResult, Workspace};
 
 /// Default bound on the re-fit reservoir (rows).
 const DEFAULT_BUFFER_CAPACITY: usize = 4096;
@@ -59,8 +69,14 @@ const DEFAULT_BUFFER_CAPACITY: usize = 4096;
 #[derive(Debug, Clone)]
 pub struct StreamingMcdc {
     mgcpl: Mgcpl,
-    /// Per-granularity cluster profiles, finest first.
+    /// Per-granularity cluster profiles, finest first. This is *learner*
+    /// state: `absorb` updates it online and re-fits rebuild it.
     granularities: Vec<Vec<ClusterProfile>>,
+    /// The serving-side view: a frozen compaction of the coarsest
+    /// granularity plus the κ/σ summary, captured at the last accepted
+    /// (re-)fit. `serve_one` and the drift-stat accessors read this, so a
+    /// mid-re-fit learner or a rolled-back re-fit never leaks into serving.
+    served: ServedSnapshot,
     /// Similarity below which an arrival counts as poorly matched.
     drift_threshold: f64,
     /// Poorly matched arrivals since the last re-fit.
@@ -100,11 +116,13 @@ impl StreamingMcdc {
         let mut workspace = Workspace::new();
         let result = mgcpl.fit_with(batch, &mut workspace)?;
         let granularities = build_profiles(batch, &result);
+        let served = ServedSnapshot::capture(&granularities);
         let last_refit =
             MgcplResultSummary { kappa: result.kappa.clone(), sigma: result.partitions.len() };
         Ok(StreamingMcdc {
             mgcpl,
             granularities,
+            served,
             drift_threshold: 0.3,
             drifted: 0,
             arrived: 0,
@@ -200,14 +218,52 @@ impl StreamingMcdc {
         self.buffer_capacity
     }
 
-    /// Number of granularity levels currently maintained.
+    /// Number of granularity levels in the **served** snapshot — the model
+    /// assignments are answered from, captured at the last accepted
+    /// (re-)fit. Consistent through rolled-back re-fits and unaffected by
+    /// [`absorb`](Self::absorb)'s online learner updates.
     pub fn sigma(&self) -> usize {
-        self.granularities.len()
+        self.served.kappa.len()
     }
 
-    /// Cluster counts per granularity, finest first.
+    /// Cluster counts per granularity, finest first, of the **served**
+    /// snapshot (see [`sigma`](Self::sigma) for the consistency contract).
     pub fn kappa(&self) -> Vec<usize> {
-        self.granularities.iter().map(Vec::len).collect()
+        self.served.kappa.clone()
+    }
+
+    /// The frozen compaction of the served (coarsest) granularity —
+    /// read-only, swapped atomically with [`kappa`](Self::kappa)/
+    /// [`sigma`](Self::sigma) when a re-fit is accepted, and kept through
+    /// rollbacks. Save it with
+    /// [`FrozenModel::save`](crate::FrozenModel::save) to deploy the
+    /// stream's current model elsewhere.
+    pub fn served_model(&self) -> &FrozenModel {
+        &self.served.model
+    }
+
+    /// Assigns `row` to a cluster of the served (coarsest) granularity
+    /// *without learning*: a read-only sweep of the frozen snapshot, so
+    /// repeated calls between re-fits always agree — unlike
+    /// [`absorb`](Self::absorb), which updates the learner's profiles and
+    /// may drift. This is the serving fast path (DESIGN.md §9).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `row` arity mismatches the bootstrap
+    /// schema.
+    pub fn serve_one(&self, row: &[u32]) -> u32 {
+        self.served.model.score_one(row)
+    }
+
+    /// [`serve_one`](Self::serve_one) over a batch of rows into a
+    /// caller-provided buffer (cleared and refilled; allocation-free when
+    /// `out` has capacity).
+    pub fn serve_batch<'a, I>(&self, rows: I, out: &mut Vec<u32>)
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        self.served.model.score_batch(rows, out);
     }
 
     /// Total objects seen (batch + absorbed).
@@ -303,6 +359,11 @@ impl StreamingMcdc {
     /// rollback. The drift statistics reset either way, so a persistent
     /// fault schedule cannot pin the stream in a hot re-fit loop.
     ///
+    /// The served snapshot ([`serve_one`](Self::serve_one),
+    /// [`served_model`](Self::served_model), [`kappa`](Self::kappa),
+    /// [`sigma`](Self::sigma)) swaps only when the re-fit is accepted; a
+    /// rollback keeps serving the old snapshot unchanged.
+    ///
     /// # Errors
     ///
     /// Propagates [`McdcError`] from the underlying MGCPL fit.
@@ -317,9 +378,31 @@ impl StreamingMcdc {
         }
         self.last_refit_degraded = false;
         self.granularities = build_profiles(&self.buffer, &result);
+        self.served = ServedSnapshot::capture(&self.granularities);
         self.last_refit =
             MgcplResultSummary { kappa: result.kappa, sigma: result.partitions.len() };
         Ok(&self.last_refit)
+    }
+}
+
+/// The serving-side view of a stream: the frozen coarsest granularity and
+/// the κ summary, captured together so serving reads are mutually
+/// consistent (DESIGN.md §9).
+#[derive(Debug, Clone, PartialEq)]
+struct ServedSnapshot {
+    /// Frozen compaction of the coarsest granularity's profiles.
+    model: FrozenModel,
+    /// Cluster counts per granularity at capture time, finest first.
+    kappa: Vec<usize>,
+}
+
+impl ServedSnapshot {
+    fn capture(granularities: &[Vec<ClusterProfile>]) -> ServedSnapshot {
+        let coarsest = granularities.last().expect("MGCPL yields at least one granularity");
+        ServedSnapshot {
+            model: FrozenModel::from_profiles(coarsest),
+            kappa: granularities.iter().map(Vec::len).collect(),
+        }
     }
 }
 
@@ -619,6 +702,66 @@ mod tests {
         assert_eq!(stream.rollbacks(), 2);
         // Drift statistics reset despite the rollback — no hot refit loop.
         assert_eq!(stream.drift_ratio(), 0.0);
+    }
+
+    #[test]
+    fn serving_reads_come_from_the_served_snapshot_not_the_learner() {
+        let data = batch(15);
+        let mut stream =
+            StreamingMcdc::bootstrap(Mgcpl::builder().seed(1).build(), data.table()).unwrap();
+        let probes: Vec<Vec<u32>> = (0..20).map(|i| data.table().row(i).to_vec()).collect();
+        let mut served_before = Vec::new();
+        stream.serve_batch(probes.iter().map(Vec::as_slice), &mut served_before);
+        let snapshot_before = stream.served_model().to_bytes();
+        let kappa_before = stream.kappa();
+        // Heavy absorb traffic mutates the learner's profiles — the served
+        // snapshot, and with it every serving read, must not move.
+        for _ in 0..500 {
+            stream.absorb(&[3, 3, 3, 3, 3, 3, 3, 3]);
+        }
+        let mut served_after = Vec::new();
+        stream.serve_batch(probes.iter().map(Vec::as_slice), &mut served_after);
+        assert_eq!(served_after, served_before, "absorb traffic leaked into serving");
+        assert_eq!(stream.served_model().to_bytes(), snapshot_before);
+        assert_eq!(stream.kappa(), kappa_before);
+        // An accepted re-fit swaps the snapshot and the summary together.
+        stream.refit().unwrap();
+        assert_eq!(stream.kappa(), stream.last_refit.kappa);
+        assert_eq!(stream.sigma(), stream.last_refit.sigma);
+        assert_eq!(stream.served_model().k(), *stream.kappa().last().unwrap());
+    }
+
+    #[test]
+    fn rolled_back_refit_keeps_serving_the_old_snapshot() {
+        use crate::{ExecutionPlan, FaultPlan};
+        let data = batch(16);
+        // Same total-replica-loss schedule as the rollback test above: the
+        // re-fit is always discarded, and the serving surface — frozen
+        // snapshot bytes, assignments, κ/σ — must be byte-for-byte the
+        // pre-re-fit checkpoint.
+        let mgcpl = Mgcpl::builder()
+            .seed(1)
+            .execution(ExecutionPlan::mini_batch(75))
+            .fault_plan(FaultPlan::seeded(7).replica_failure_rate(1.0).retry_budget(1))
+            .build();
+        let mut stream =
+            StreamingMcdc::bootstrap(mgcpl, data.table()).unwrap().with_survivor_quorum(0.5);
+        let probes: Vec<Vec<u32>> = (0..20).map(|i| data.table().row(i).to_vec()).collect();
+        let mut served_before = Vec::new();
+        stream.serve_batch(probes.iter().map(Vec::as_slice), &mut served_before);
+        let snapshot_before = stream.served_model().to_bytes();
+        let (kappa_before, sigma_before) = (stream.kappa(), stream.sigma());
+        for i in 0..50 {
+            stream.absorb(data.table().row(i));
+        }
+        stream.refit().unwrap();
+        assert!(stream.last_refit_degraded());
+        let mut served_after = Vec::new();
+        stream.serve_batch(probes.iter().map(Vec::as_slice), &mut served_after);
+        assert_eq!(served_after, served_before, "rollback changed served assignments");
+        assert_eq!(stream.served_model().to_bytes(), snapshot_before);
+        assert_eq!(stream.kappa(), kappa_before);
+        assert_eq!(stream.sigma(), sigma_before);
     }
 
     #[test]

@@ -9,7 +9,11 @@
 # perf-smoke step (`hotpath_snapshot --quick`, n = 10k) fails on
 # panics/NaN medians, on `mgcpl_lazy` losing to `mgcpl_explore` beyond
 # noise tolerance, and on the lazy pruning never firing — so perf
-# regressions surface immediately too. The reconcile smoke
+# regressions surface immediately too. The inference smoke
+# (`infer_hotpath --quick`) times the frozen-model serving path on three
+# shapes and fails on panics/NaN medians, on frozen/live argmax parity
+# breaking on the pinned seed, or on the frozen kernels losing to the
+# live `score_all` path they compact. The reconcile smoke
 # (`reconcile_ablation --quick`) runs a tiny quality-recovery grid and
 # fails on panics, non-finite metrics, or a rotating policy that never
 # rotates. The chaos smoke (`fault_chaos --quick`) runs the fault arms
@@ -40,6 +44,9 @@ cargo test --doc -q
 
 echo "==> perf smoke (hotpath_snapshot --quick)"
 cargo run --release -p mcdc-bench --bin hotpath_snapshot -- --quick
+
+echo "==> inference smoke (infer_hotpath --quick)"
+cargo run --release -p mcdc-bench --bin infer_hotpath -- --quick
 
 echo "==> reconcile smoke (reconcile_ablation --quick)"
 cargo run --release -p mcdc-bench --bin reconcile_ablation -- --quick
