@@ -354,6 +354,9 @@ impl Came {
             );
             stats.full_rescans += full;
             stats.skipped_rescans += skipped;
+            // Each full rescan scans all k modes; a skip proves its cached
+            // winner without touching any (margin decay is O(1)).
+            stats.score_evals += full * k as u64;
 
             // Re-seed emptied clusters on the objects farthest from their
             // current mode so the sought k is always delivered.

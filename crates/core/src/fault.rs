@@ -171,7 +171,9 @@ impl FaultPlan {
 
     /// Per-shard execution attempt budget (default 2: one retry after a
     /// first failure). A replica that fails `budget` attempts in one merge
-    /// step is quarantined for that step. Must be at least 1.
+    /// step is quarantined for that step. A budget of 0 is the degenerate
+    /// no-retry setting, equivalent to 1: the first fault quarantines the
+    /// shard immediately.
     #[must_use]
     pub fn retry_budget(mut self, budget: usize) -> Self {
         self.retry_budget = budget;
@@ -225,14 +227,18 @@ impl FaultPlan {
     }
 
     /// The per-shard attempt budget (see
-    /// [`retry_budget`](FaultPlan::retry_budget)).
+    /// [`retry_budget`](FaultPlan::retry_budget)); never 0 — a budget of 0
+    /// clamps to the single mandatory execution attempt, so the engine's
+    /// attempt loop always runs at least once and a first fault
+    /// quarantines immediately instead of underflowing the budget.
     #[must_use]
     pub fn attempts(&self) -> usize {
-        self.retry_budget
+        self.retry_budget.max(1)
     }
 
-    /// Validates the plan: every rate must be finite and in `[0, 1]`, and
-    /// the retry budget at least 1.
+    /// Validates the plan: every rate must be finite and in `[0, 1]`
+    /// (both endpoints are legal: 0 disarms a fault class, 1 fires it on
+    /// every draw).
     ///
     /// # Errors
     ///
@@ -251,12 +257,6 @@ impl FaultPlan {
                     message: format!("must be a finite probability in [0, 1], got {rate}"),
                 });
             }
-        }
-        if self.retry_budget == 0 {
-            return Err(McdcError::InvalidConfig {
-                parameter: "fault.retry_budget",
-                message: "must allow at least one execution attempt".to_string(),
-            });
         }
         Ok(())
     }
@@ -422,7 +422,7 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_non_finite_rates_and_zero_budgets() {
+    fn validate_rejects_non_finite_rates() {
         assert!(FaultPlan::none().validate().is_ok());
         for bad in [f64::NAN, f64::INFINITY, -0.1, 1.5] {
             assert!(FaultPlan::seeded(1).replica_failure_rate(bad).validate().is_err());
@@ -430,7 +430,39 @@ mod tests {
             assert!(FaultPlan::seeded(1).delta_corruption_rate(bad).validate().is_err());
             assert!(FaultPlan::seeded(1).delta_drop_rate(bad).validate().is_err());
         }
-        assert!(FaultPlan::none().retry_budget(0).validate().is_err());
-        assert!(FaultPlan::none().retry_budget(1).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_the_exact_rate_boundaries() {
+        // 0.0 disarms a fault class, 1.0 fires it on every draw — both are
+        // legal probabilities, not off-by-one rejections.
+        for boundary in [0.0, 1.0] {
+            assert!(FaultPlan::seeded(1)
+                .replica_failure_rate(boundary)
+                .straggler_rate(boundary)
+                .delta_corruption_rate(boundary)
+                .delta_drop_rate(boundary)
+                .validate()
+                .is_ok());
+        }
+        // A rate of exactly 1.0 fires deterministically on every draw.
+        let always = FaultPlan::seeded(1).replica_failure_rate(1.0);
+        for attempt in 0..4 {
+            assert_eq!(always.replica_fault(0, 0, attempt), ReplicaFault::Fail);
+        }
+        // A rate of exactly 0.0 never fires.
+        let never = FaultPlan::seeded(1).replica_failure_rate(0.0);
+        assert_eq!(never.replica_fault(0, 0, 0), ReplicaFault::Healthy);
+    }
+
+    #[test]
+    fn zero_retry_budget_is_the_degenerate_no_retry_setting() {
+        let plan = FaultPlan::none().retry_budget(0);
+        assert!(plan.validate().is_ok());
+        // The engine's attempt loop reads `attempts()`, which clamps to
+        // the one mandatory execution attempt.
+        assert_eq!(plan.attempts(), 1);
+        assert_eq!(FaultPlan::none().retry_budget(1).attempts(), 1);
+        assert_eq!(FaultPlan::none().attempts(), 2);
     }
 }

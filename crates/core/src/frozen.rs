@@ -311,7 +311,9 @@ impl FrozenModel {
     ///
     /// Returns [`McdcError::CorruptModel`] naming the first violated
     /// invariant (truncated image, wrong magic, unsupported version,
-    /// non-monotonic offsets, length mismatches, trailing bytes).
+    /// non-monotonic offsets, payload length disagreeing with the declared
+    /// shape — checked before any table allocation — trailing bytes, and
+    /// non-finite prefactors or table entries).
     pub fn from_bytes(bytes: &[u8]) -> Result<FrozenModel, McdcError> {
         let mut r = Reader { bytes, pos: 0 };
         let magic = r.take(4)?;
@@ -340,22 +342,40 @@ impl FrozenModel {
         if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err(corrupt("CSR offsets must start at 0 and be non-decreasing".into()));
         }
-        let mut prefactors = Vec::with_capacity(k);
-        for _ in 0..k {
-            prefactors.push(f64::from_bits(r.u64()?));
-        }
+        // Reconcile the shape header against the actual payload length
+        // *before* allocating: an out-of-bounds CSR offset would otherwise
+        // request a table allocation sized by attacker-controlled bytes.
         let k_pad = k.div_ceil(LANES) * LANES;
         let total = offsets[d] as usize;
-        let mut table = Vec::with_capacity(total * k_pad);
-        for _ in 0..total * k_pad {
-            table.push(f64::from_bits(r.u64()?));
-        }
-        if r.pos != r.bytes.len() {
+        let body = (k + total * k_pad)
+            .checked_mul(8)
+            .ok_or_else(|| corrupt("scoring-table size overflows".into()))?;
+        let remaining = r.bytes.len() - r.pos;
+        if remaining != body {
             return Err(corrupt(format!(
-                "{} trailing bytes after the scoring table",
-                r.bytes.len() - r.pos
+                "CSR offsets declare {total} values ({body} payload bytes) but \
+                 {remaining} bytes follow the header"
             )));
         }
+        let mut prefactors = Vec::with_capacity(k);
+        for l in 0..k {
+            let p = f64::from_bits(r.u64()?);
+            if !p.is_finite() {
+                return Err(corrupt(format!("non-finite prefactor {p} for cluster {l}")));
+            }
+            prefactors.push(p);
+        }
+        let mut table = Vec::with_capacity(total * k_pad);
+        for i in 0..total * k_pad {
+            let entry = f64::from_bits(r.u64()?);
+            if !entry.is_finite() {
+                return Err(corrupt(format!(
+                    "non-finite scoring-table entry {entry} at index {i}"
+                )));
+            }
+            table.push(entry);
+        }
+        debug_assert_eq!(r.pos, r.bytes.len(), "length reconciliation consumed the image exactly");
         Ok(FrozenModel { k, k_pad, offsets, table, prefactors, post_scale })
     }
 

@@ -1168,6 +1168,7 @@ impl Mgcpl {
                 } else {
                     stats.full_rescans += 1;
                 }
+                stats.score_evals += verdict.evals;
                 lz.note_attempt(verdict.pruned);
                 let best = verdict.winner;
                 let rival = verdict.rival;
@@ -1207,6 +1208,7 @@ impl Mgcpl {
                 continue;
             }
             stats.full_rescans += 1;
+            stats.score_evals += prefactors.len() as u64;
 
             // Score every live cluster — (1 − ρ_l) · u_l · s(x_i, C_l) —
             // and select the winner v (Eq. 6) and the rival h (Eq. 9) in
@@ -1527,6 +1529,7 @@ impl Mgcpl {
                     rep.final_of[i] = match assignment[i] {
                         Some(c) => c,
                         None => {
+                            stats.score_evals += k as u64;
                             score_all_transposed(
                                 table.row(i),
                                 clusters.layout.offsets(),
@@ -1611,6 +1614,7 @@ impl Mgcpl {
         for slot in &slots {
             for (merged, profile) in rep.merged[..k].iter_mut().zip(&slot.profiles) {
                 merged.merge(profile);
+                stats.merges += 1;
             }
         }
         for (profile, merged) in clusters.profiles.iter_mut().zip(&rep.merged) {
@@ -1659,6 +1663,7 @@ impl Mgcpl {
         for slot in &mut slots {
             stats.full_rescans += slot.stats.full_rescans;
             stats.skipped_rescans += slot.stats.skipped_rescans;
+            stats.score_evals += slot.stats.score_evals;
             *allocs += slot.allocs;
             slot.allocs = 0;
         }

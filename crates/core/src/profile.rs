@@ -582,6 +582,10 @@ pub(crate) struct CappedVerdict {
     pub(crate) rival_similarity: f64,
     /// Whether any cluster was pruned (skipped without an exact sweep).
     pub(crate) pruned: bool,
+    /// Exact per-cluster evaluations this sweep performed: the candidates
+    /// scored through the profiles, plus `k` more when the sweep bailed to
+    /// (or started in) the dense kernel. Feeds `HotPathStats::score_evals`.
+    pub(crate) evals: u64,
 }
 
 /// Evaluated-count ceiling above which the pruned sweep abandons pruning
@@ -661,11 +665,14 @@ pub(crate) fn score_all_transposed_capped(
         }
     };
 
+    // Cleared before the small-`k` check so `evaluated.len()` is the
+    // sparse-evaluation count on every exit path (0 on the trivial-dense
+    // one), keeping the `evals` accounting branch-free below.
+    evaluated.clear();
     'sparse: {
         if k <= DENSE_MIN_K {
             break 'sparse;
         }
-        evaluated.clear();
         let mut best_value = f64::NEG_INFINITY;
         let mut second_value = f64::NEG_INFINITY;
         let first = if hint_winner < k { hint_winner } else { 0 };
@@ -721,6 +728,7 @@ pub(crate) fn score_all_transposed_capped(
             rival,
             rival_similarity: if rival == usize::MAX { 0.0 } else { rival_sim },
             pruned: evaluated.len() < k,
+            evals: evaluated.len() as u64,
         };
     }
     let (winner, rival) =
@@ -730,6 +738,7 @@ pub(crate) fn score_all_transposed_capped(
         rival,
         rival_similarity: if rival == usize::MAX { 0.0 } else { accumulators[rival] * post_scale },
         pruned: false,
+        evals: (evaluated.len() + k) as u64,
     }
 }
 

@@ -12,6 +12,17 @@ pub struct HotPathStats {
     /// "Lazy scoring"); each skip replaces a `d×k` sweep with an `O(d)`
     /// (MGCPL) or `O(1)` (CAME) update.
     pub skipped_rescans: u64,
+    /// Object–cluster score evaluations performed: each `O(d)` similarity
+    /// (MGCPL) or θ-Hamming distance (CAME) computed against one cluster.
+    /// A dense sweep over `k` live clusters contributes `k`; the lazy
+    /// kernel contributes only the candidates it actually scored. This is
+    /// the deterministic work measure the conformance perf gates compare
+    /// (DESIGN.md §10) — unlike wall time, it is machine-independent.
+    pub score_evals: u64,
+    /// Cluster-profile merge operations performed while reconciling
+    /// replicated passes: one per (shard, cluster) profile folded into a
+    /// merged model. 0 under serial plans.
+    pub merges: u64,
     /// Workspace buffer-growth events during the fit (0 on a warm
     /// [`Workspace`](crate::Workspace)).
     pub allocations: u64,
@@ -51,6 +62,8 @@ impl Default for HotPathStats {
         HotPathStats {
             full_rescans: 0,
             skipped_rescans: 0,
+            score_evals: 0,
+            merges: 0,
             allocations: 0,
             passes: 0,
             rotations: 0,
@@ -180,5 +193,7 @@ mod tests {
         assert_eq!(stats.retries, 0);
         assert_eq!(stats.quarantined_shards, 0);
         assert_eq!(stats.rejected_deltas, 0);
+        assert_eq!(stats.score_evals, 0);
+        assert_eq!(stats.merges, 0);
     }
 }

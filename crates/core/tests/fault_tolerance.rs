@@ -247,6 +247,31 @@ fn exhausted_budget_quarantines_and_degrades_gracefully() {
 }
 
 #[test]
+fn zero_retry_budget_quarantines_on_the_first_fault_without_panicking() {
+    // `retry_budget = 0` is the degenerate no-retry setting: the single
+    // mandatory attempt still runs, and its failure quarantines the shard
+    // immediately — no retries, no panic, and the degraded merge still
+    // yields a dense clustering.
+    let data = nested(240, 7);
+    let plan = ExecutionPlan::mini_batch(60); // 4 shards
+    let result = fit(
+        data.table(),
+        |b| {
+            b.execution(plan.clone())
+                .fault_plan(FaultPlan::none().fail_replica(1, 2).retry_budget(0))
+        },
+        9,
+    );
+    assert_eq!(result.stats.replica_failures, 1);
+    assert_eq!(result.stats.retries, 0, "a budget of 0 never retries");
+    assert_eq!(result.stats.quarantined_shards, 1);
+    for (partition, &k) in result.partitions.iter().zip(&result.kappa) {
+        assert_eq!(partition.len(), 240);
+        assert!(partition.iter().all(|&l| l < k));
+    }
+}
+
+#[test]
 fn quarantined_fit_quality_stays_within_the_replicated_band() {
     // The acceptance gate: a seeded single-replica failure at 4 shards,
     // past its retry budget, holds nested mean ACC within 0.05 of the
@@ -313,10 +338,10 @@ fn builder_boundary_rejects_non_finite_knobs() {
             "fault.delta_drop_rate",
         );
     }
-    expect(
-        Mgcpl::builder().fault_plan(FaultPlan::none().retry_budget(0)).try_build(),
-        "fault.retry_budget",
-    );
+    // `retry_budget = 0` is the legal degenerate no-retry setting, not a
+    // boundary rejection (zero_retry_budget_quarantines_on_the_first_fault
+    // covers its engine semantics).
+    assert!(Mgcpl::builder().fault_plan(FaultPlan::none().retry_budget(0)).try_build().is_ok());
     expect(Mgcpl::builder().max_inner_iterations(0).try_build(), "max_inner_iterations");
     expect(Mgcpl::builder().max_stages(0).try_build(), "max_stages");
     // The pipeline builder forwards the same boundary.

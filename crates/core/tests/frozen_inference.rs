@@ -200,6 +200,89 @@ fn score_batch_with_reserved_buffer_allocates_nothing() {
     }
 }
 
+/// Load-path corruption coverage: every malformed image must come back as
+/// `McdcError::CorruptModel` — never a panic, never a bogus model. The
+/// corruptions are expressed as byte-level mutations of a valid image so
+/// the test exercises the real wire format, not a mock.
+#[test]
+fn from_bytes_rejects_corrupted_images_without_panicking() {
+    let mut table = CategoricalTable::new(Schema::uniform(3, 4));
+    for i in 0..40u32 {
+        let row: Vec<u32> = (0..3).map(|r| (i * 5 + r * 2) % 4).collect();
+        table.push_row(&row).unwrap();
+    }
+    let frozen = Mgcpl::builder().seed(2).build().fit(&table).unwrap().freeze(&table).unwrap();
+    let bytes = frozen.to_bytes();
+    // Layout: magic(4) version(4) k(4) d(4) post_scale(8) offsets((d+1)*4)
+    // prefactors(k*8) table(total*k_pad*8).
+    let d = frozen.n_features();
+    let offsets_at = 4 + 4 + 4 + 4 + 8;
+    let prefactors_at = offsets_at + (d + 1) * 4;
+    let last_offset_at = offsets_at + d * 4;
+    let first_prefactor_at = prefactors_at;
+    let first_table_entry_at = prefactors_at + frozen.k() * 8;
+
+    type Corruption = Box<dyn Fn(&mut Vec<u8>)>;
+    let corruptions: Vec<(&str, Corruption)> = vec![
+        ("truncated header", Box::new(|b: &mut Vec<u8>| b.truncate(10))),
+        ("empty image", Box::new(|b: &mut Vec<u8>| b.clear())),
+        ("bad magic", Box::new(|b: &mut Vec<u8>| b[0] ^= 0xFF)),
+        ("unsupported version", Box::new(|b: &mut Vec<u8>| b[4] = 0xFE)),
+        (
+            "out-of-bounds CSR offset",
+            Box::new(move |b: &mut Vec<u8>| {
+                // Inflate the final prefix sum far past the payload: the
+                // loader must reject by length reconciliation, not attempt
+                // the giant allocation the offset implies.
+                b[last_offset_at..last_offset_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            }),
+        ),
+        (
+            "non-monotonic CSR offsets",
+            Box::new(move |b: &mut Vec<u8>| {
+                b[last_offset_at..last_offset_at + 4].copy_from_slice(&0u32.to_le_bytes());
+            }),
+        ),
+        (
+            "NaN prefactor",
+            Box::new(move |b: &mut Vec<u8>| {
+                b[first_prefactor_at..first_prefactor_at + 8]
+                    .copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+            }),
+        ),
+        (
+            "NaN table entry",
+            Box::new(move |b: &mut Vec<u8>| {
+                b[first_table_entry_at..first_table_entry_at + 8]
+                    .copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+            }),
+        ),
+        (
+            "infinite table entry",
+            Box::new(move |b: &mut Vec<u8>| {
+                b[first_table_entry_at..first_table_entry_at + 8]
+                    .copy_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
+            }),
+        ),
+        ("trailing bytes", Box::new(|b: &mut Vec<u8>| b.push(0))),
+        ("truncated table", Box::new(|b: &mut Vec<u8>| b.truncate(b.len() - 8))),
+    ];
+    for (name, corrupt) in corruptions {
+        let mut image = bytes.clone();
+        corrupt(&mut image);
+        assert_ne!(image, bytes, "{name}: the corruption must actually change the image");
+        match FrozenModel::from_bytes(&image) {
+            Err(mcdc_core::McdcError::CorruptModel { message }) => {
+                assert!(!message.is_empty(), "{name}: the error must name the invariant");
+            }
+            other => panic!("{name}: expected CorruptModel, got {other:?}"),
+        }
+    }
+    // The untouched image still loads — the corruptions above are the only
+    // thing standing between these bytes and a valid model.
+    assert_eq!(FrozenModel::from_bytes(&bytes).unwrap(), frozen);
+}
+
 #[test]
 fn save_load_roundtrips_through_disk() {
     let mut table = CategoricalTable::new(Schema::uniform(4, 3));

@@ -1,0 +1,288 @@
+//! Textbook cluster summaries: nested-`Vec` value counts, per-attribute
+//! similarity (Eqs. 1–2), and the α/β feature weighting (Eqs. 15–18).
+//!
+//! Nothing here is shared with `mcdc-core`: counts live in one `Vec` per
+//! feature, similarities divide^W multiply by a freshly computed reciprocal
+//! per lookup, and every sum runs in ascending feature/value order — the
+//! accumulation order the paper's left-to-right sums imply (and the one the
+//! optimized kernels document, so cross-tree comparisons are exact).
+
+use categorical_data::{CategoricalTable, MISSING};
+
+/// A cluster's per-feature value-count summary, the `Ψ` counters the
+/// paper's similarity and weighting equations read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// `counts[r][t]` = members holding value `t` in feature `r`.
+    counts: Vec<Vec<u32>>,
+    /// `present[r]` = members with a non-missing value in feature `r`.
+    present: Vec<u32>,
+    /// Member count.
+    size: usize,
+}
+
+impl Profile {
+    /// An empty profile over the given per-feature cardinalities.
+    pub fn new(cardinalities: &[usize]) -> Profile {
+        Profile {
+            counts: cardinalities.iter().map(|&m| vec![0u32; m]).collect(),
+            present: vec![0; cardinalities.len()],
+            size: 0,
+        }
+    }
+
+    /// Adds one member row.
+    pub fn add(&mut self, row: &[u32]) {
+        for (r, &code) in row.iter().enumerate() {
+            if code != MISSING {
+                self.counts[r][code as usize] += 1;
+                self.present[r] += 1;
+            }
+        }
+        self.size += 1;
+    }
+
+    /// Removes one member row previously added.
+    pub fn remove(&mut self, row: &[u32]) {
+        for (r, &code) in row.iter().enumerate() {
+            if code != MISSING {
+                self.counts[r][code as usize] -= 1;
+                self.present[r] -= 1;
+            }
+        }
+        self.size -= 1;
+    }
+
+    /// Member count `n_l`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the cluster has lost all members.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Number of features `d`.
+    pub fn n_features(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Per-attribute similarity `s(x_ir, C_l)` of Eq. (2): the relative
+    /// frequency of `code` among the cluster's non-missing values in
+    /// feature `r`. Missing query values and empty features score 0.
+    pub fn value_similarity(&self, r: usize, code: u32) -> f64 {
+        if code == MISSING || self.present[r] == 0 {
+            return 0.0;
+        }
+        // Reciprocal-multiply, the expression shape both trees evaluate.
+        self.counts[r][code as usize] as f64 * (1.0 / self.present[r] as f64)
+    }
+
+    /// Object–cluster similarity of Eq. (1) as a *raw sum* over features
+    /// (ascending `r`); the caller applies the `1/d` mean (or the ω
+    /// weights make the sum already normalized, Eq. 14). Returning the raw
+    /// sum keeps the reference's scalar expression `prefactor · (sum ·
+    /// post_scale)` aligned with the optimized kernels, so score
+    /// comparisons are exact rather than ulp-fuzzy.
+    pub fn similarity_sum(&self, row: &[u32], weights: Option<&[f64]>) -> f64 {
+        let mut acc = 0.0f64;
+        match weights {
+            Some(weights) => {
+                for (r, (&code, &w)) in row.iter().zip(weights).enumerate() {
+                    if code != MISSING {
+                        acc += w * self.value_similarity(r, code);
+                    }
+                }
+            }
+            None => {
+                for (r, &code) in row.iter().enumerate() {
+                    if code != MISSING {
+                        acc += self.value_similarity(r, code);
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Intra-cluster compactness `β_rl` of Eq. (16):
+    /// `(1/n_l) Σ_{x∈C_l} Ψ_{F_r=x_r}(C_l) / Ψ_{F_r≠NULL}(C_l)`, which
+    /// collapses to `Σ_t c_t² / (n_l · present_r)`; 0 for empty clusters
+    /// or all-missing features.
+    pub fn compactness(&self, r: usize) -> f64 {
+        if self.size == 0 || self.present[r] == 0 {
+            return 0.0;
+        }
+        let sum_sq: u64 = self.counts[r].iter().map(|&c| c as u64 * c as u64).sum();
+        sum_sq as f64 / (self.size as f64 * self.present[r] as f64)
+    }
+}
+
+/// Whole-table value counts — the `X` side of the inter-cluster difference
+/// (the complement distribution `X \ C_l` is obtained by subtraction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalCounts {
+    counts: Vec<Vec<u32>>,
+    present: Vec<u32>,
+}
+
+impl GlobalCounts {
+    /// Counts every row of `table`.
+    pub fn from_table(table: &CategoricalTable) -> GlobalCounts {
+        let cardinalities: Vec<usize> =
+            table.schema().cardinalities().iter().map(|&m| m as usize).collect();
+        let mut counts: Vec<Vec<u32>> = cardinalities.iter().map(|&m| vec![0u32; m]).collect();
+        let mut present = vec![0u32; cardinalities.len()];
+        for row in table.rows() {
+            for (r, &code) in row.iter().enumerate() {
+                if code != MISSING {
+                    counts[r][code as usize] += 1;
+                    present[r] += 1;
+                }
+            }
+        }
+        GlobalCounts { counts, present }
+    }
+}
+
+/// Inter-cluster difference `α_rl` of Eq. (15): the Euclidean distance
+/// between feature `r`'s value distribution inside the cluster and in the
+/// complement `X \ C_l`, scaled by `1/√2` into `[0, 1]`.
+pub fn inter_cluster_difference(profile: &Profile, global: &GlobalCounts, r: usize) -> f64 {
+    let in_present = profile.present[r] as f64;
+    let out_present = global.present[r] as f64 - in_present;
+    let inv_in = if in_present > 0.0 { 1.0 / in_present } else { 0.0 };
+    let inv_out = if out_present > 0.0 { 1.0 / out_present } else { 0.0 };
+    let mut sum_sq = 0.0;
+    for (&in_count, &total_count) in profile.counts[r].iter().zip(&global.counts[r]) {
+        let p_in = in_count as f64 * inv_in;
+        let p_out = (total_count as f64 - in_count as f64) * inv_out;
+        let diff = p_in - p_out;
+        sum_sq += diff * diff;
+    }
+    (sum_sq.sqrt() / std::f64::consts::SQRT_2).clamp(0.0, 1.0)
+}
+
+/// Alias for Eq. (16)'s `β_rl` with the free-function shape of `α_rl`.
+pub fn intra_cluster_compactness(profile: &Profile, r: usize) -> f64 {
+    profile.compactness(r)
+}
+
+/// The per-cluster weight vector `ω_l` of Eq. (18): `H_rl = α_rl · β_rl`
+/// (Eq. 17) normalized to sum to 1, falling back to uniform weights when
+/// every `H_rl` vanishes.
+pub fn feature_weights(profile: &Profile, global: &GlobalCounts) -> Vec<f64> {
+    let d = profile.n_features();
+    let mut weights: Vec<f64> = (0..d)
+        .map(|r| inter_cluster_difference(profile, global, r) * profile.compactness(r))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    if total <= f64::EPSILON {
+        weights.fill(1.0 / d as f64);
+        return weights;
+    }
+    let inv_total = 1.0 / total;
+    for w in weights.iter_mut() {
+        *w *= inv_total;
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use categorical_data::Schema;
+
+    /// Feature 0 separates two groups perfectly; feature 1 is constant.
+    fn discriminative_table() -> CategoricalTable {
+        let mut t = CategoricalTable::new(Schema::uniform(2, 2));
+        for _ in 0..4 {
+            t.push_row(&[0, 0]).unwrap();
+        }
+        for _ in 0..4 {
+            t.push_row(&[1, 0]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn similarity_mean_matches_the_worked_example() {
+        // Profile of {[0,2], [0,1]} over cardinality-4 features; query
+        // [0,1]: s = (2/2 + 1/2) / 2 = 3/4 per Eqs. (1)–(2).
+        let mut p = Profile::new(&[4, 4]);
+        p.add(&[0, 2]);
+        p.add(&[0, 1]);
+        let mean = p.similarity_sum(&[0, 1], None) * (1.0 / 2.0);
+        assert!((mean - 0.75).abs() < 1e-15, "mean={mean}");
+    }
+
+    #[test]
+    fn missing_values_score_zero_and_skip_the_denominator() {
+        let mut p = Profile::new(&[2]);
+        p.add(&[0]);
+        p.add(&[MISSING]);
+        // One of two members is present in feature 0, so s(0) = 1/1.
+        assert_eq!(p.value_similarity(0, 0), 1.0);
+        assert_eq!(p.value_similarity(0, MISSING), 0.0);
+        assert_eq!(p.size(), 2);
+    }
+
+    #[test]
+    fn add_then_remove_restores_the_empty_profile() {
+        let mut p = Profile::new(&[3, 3]);
+        let fresh = p.clone();
+        p.add(&[1, 2]);
+        p.add(&[0, MISSING]);
+        p.remove(&[1, 2]);
+        p.remove(&[0, MISSING]);
+        assert_eq!(p, fresh);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn alpha_is_one_for_a_perfect_separator_and_zero_for_a_constant() {
+        let table = discriminative_table();
+        let global = GlobalCounts::from_table(&table);
+        let mut cluster = Profile::new(&[2, 2]);
+        for i in 0..4 {
+            cluster.add(table.row(i));
+        }
+        let a0 = inter_cluster_difference(&cluster, &global, 0);
+        let a1 = inter_cluster_difference(&cluster, &global, 1);
+        assert!((a0 - 1.0).abs() < 1e-12, "a0={a0}");
+        assert!(a1.abs() < 1e-12, "a1={a1}");
+    }
+
+    #[test]
+    fn beta_is_one_for_a_pure_feature_and_half_for_an_even_split() {
+        // Two members agreeing in feature 0 (2²/(2·2) = 1) and split in
+        // feature 1 ((1²+1²)/(2·2) = 1/2) — Eq. (16) by hand.
+        let mut p = Profile::new(&[2, 2]);
+        p.add(&[1, 0]);
+        p.add(&[1, 1]);
+        assert_eq!(p.compactness(0), 1.0);
+        assert_eq!(p.compactness(1), 0.5);
+        assert_eq!(intra_cluster_compactness(&p, 0), 1.0);
+    }
+
+    #[test]
+    fn weights_normalize_and_favor_the_discriminative_feature() {
+        let table = discriminative_table();
+        let global = GlobalCounts::from_table(&table);
+        let mut cluster = Profile::new(&[2, 2]);
+        for i in 0..4 {
+            cluster.add(table.row(i));
+        }
+        let w = feature_weights(&cluster, &global);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > 0.99, "w={w:?}");
+        // A cluster indistinguishable from the global distribution falls
+        // back to uniform weights.
+        let mut mixed = Profile::new(&[2, 2]);
+        for &i in &[0usize, 1, 4, 5] {
+            mixed.add(table.row(i));
+        }
+        assert_eq!(feature_weights(&mixed, &global), vec![0.5, 0.5]);
+    }
+}

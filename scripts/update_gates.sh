@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Re-baseline the deterministic perf gates (DESIGN.md §10). Run from
+# anywhere, after a *deliberate* algorithm change shifts the work
+# counters:
+#
+#   scripts/update_gates.sh
+#
+# Re-measures every gate suite, rewrites PERF_GATES.toml (keeping its
+# tolerance), and prints the per-counter old -> new diff — commit the
+# updated file alongside the change that moved the counters, citing the
+# diff in the PR. The gates themselves run in scripts/verify.sh via
+# `conformance --gate`; this script is the only sanctioned way to move
+# them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> re-measuring gate suites (conformance --write-gates)"
+cargo run --release -p mcdc-bench --bin conformance -- --write-gates
+
+echo "==> re-checking the new baselines (conformance --gate)"
+cargo run --release -p mcdc-bench --bin conformance -- --gate
+
+echo "update_gates: OK — review the diff above and commit PERF_GATES.toml"

@@ -20,7 +20,13 @@
 # (retry, quarantine, probabilistic chaos) on a small grid and fails on
 # panics, non-finite metrics, a chaos arm that never injects a failure,
 # a retry arm that diverges from the clean labels, or a quarantined fit
-# dropping more than 0.05 mean ACC below clean.
+# dropping more than 0.05 mean ACC below clean. The conformance steps
+# (DESIGN.md §10) replay seeded random tables through the
+# `mcdc-reference` oracle across the full execution grid
+# (`conformance --quick`) and check the deterministic work counters
+# against the `PERF_GATES.toml` baselines, self-testing that the gate
+# still has teeth (`conformance --gate`); re-baseline deliberate
+# changes with scripts/update_gates.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,5 +59,11 @@ cargo run --release -p mcdc-bench --bin reconcile_ablation -- --quick
 
 echo "==> chaos smoke (fault_chaos --quick)"
 cargo run --release -p mcdc-bench --bin fault_chaos -- --quick
+
+echo "==> conformance replay (conformance --quick)"
+cargo run --release -p mcdc-bench --bin conformance -- --quick
+
+echo "==> counter gates (conformance --gate)"
+cargo run --release -p mcdc-bench --bin conformance -- --gate
 
 echo "verify: OK"
