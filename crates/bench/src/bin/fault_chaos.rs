@@ -10,13 +10,23 @@
 //! stays within 0.05 ACC of clean — the graceful-degradation acceptance
 //! gate.
 //!
+//! A second **ingest** axis (DESIGN.md §11) replays seeded row corruption
+//! — arity truncation, out-of-domain codes, MISSING flooding, all from
+//! the extended [`FaultPlan`] — through the `try_absorb` trust boundary
+//! of a [`StreamingMcdc`] under every [`UnseenPolicy`], recording the
+//! rejection / quarantine / coercion counters and the serving-health
+//! walk per policy.
+//!
 //! Usage: `cargo run --release -p mcdc-bench --bin fault_chaos
 //!        [--out PATH] [--seeds N] [--n ROWS] [--quick]`
 //!
 //! `--quick` runs a tiny smoke grid (n = 240, 3 seeds), asserts no arm
 //! panics, every metric is finite, the chaos arm actually injected
-//! failures, the retry arm matches clean bit for bit, and the quarantine
-//! arm holds the recovery floor — then writes nothing; this is the
+//! failures, the retry arm matches clean bit for bit, the quarantine
+//! arm holds the recovery floor, and — on the ingest axis — that the
+//! per-policy boundary counters fire and the whole corrupted replay
+//! (admissions, counters, health transitions) is bit-identical when
+//! re-run on the same seeds. Then it writes nothing; this is the
 //! `scripts/verify.sh` gate.
 
 use std::time::Instant;
@@ -24,7 +34,9 @@ use std::time::Instant;
 use categorical_data::synth::GeneratorConfig;
 use categorical_data::Dataset;
 use cluster_eval::{accuracy, adjusted_rand_index};
-use mcdc_core::{ExecutionPlan, FaultPlan, HotPathStats, Mcdc};
+use mcdc_core::{
+    ExecutionPlan, FaultPlan, HealthState, HotPathStats, Mcdc, Mgcpl, StreamingMcdc, UnseenPolicy,
+};
 
 /// One fault arm under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,6 +217,149 @@ fn gate(suite: &str, cells: &[(Entry, Vec<Vec<usize>>)]) {
     assert!(clean.replica_failures == 0 && clean.rejected_deltas == 0);
 }
 
+/// One ingest-axis cell: the `try_absorb` boundary under one
+/// [`UnseenPolicy`], counters summed over the fit seeds.
+#[derive(Debug, Clone, PartialEq)]
+struct IngestEntry {
+    policy: &'static str,
+    arrivals: u64,
+    admitted: u64,
+    rejected: u64,
+    quarantined: u64,
+    coerced_rows: u64,
+    coerced_values: u64,
+    health_transitions: u64,
+    healthy_runs: u64,
+    drifting_runs: u64,
+    degraded_runs: u64,
+    wall_ms_mean: f64,
+}
+
+/// Corruption schedule for one ingest seed: arity truncation,
+/// out-of-domain codes, and MISSING flooding, all armed at once.
+fn ingest_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(0x16E5 ^ seed)
+        .ingest_truncation_rate(0.08)
+        .ingest_out_of_domain_rate(0.15)
+        .ingest_missing_flood_rate(0.08)
+}
+
+/// Replays `arrivals` corrupted rows per seed through a freshly
+/// bootstrapped stream under `policy`.
+fn run_ingest_cell(policy: UnseenPolicy, data: &Dataset, seeds: u64, arrivals: u64) -> IngestEntry {
+    let label = match policy {
+        UnseenPolicy::Reject => "reject",
+        UnseenPolicy::AsMissing => "as-missing",
+        UnseenPolicy::Quarantine => "quarantine",
+    };
+    let mut entry = IngestEntry {
+        policy: label,
+        arrivals: seeds * arrivals,
+        admitted: 0,
+        rejected: 0,
+        quarantined: 0,
+        coerced_rows: 0,
+        coerced_values: 0,
+        health_transitions: 0,
+        healthy_runs: 0,
+        drifting_runs: 0,
+        degraded_runs: 0,
+        wall_ms_mean: 0.0,
+    };
+    let mut walls = Vec::new();
+    for seed in 1..=seeds {
+        let mut stream =
+            StreamingMcdc::bootstrap(Mgcpl::builder().seed(seed).build(), data.table())
+                .expect("ingest bootstrap fits")
+                .with_unseen_policy(policy);
+        let plan = ingest_plan(seed);
+        let start = Instant::now();
+        let mut row = Vec::new();
+        for arrival in 0..arrivals {
+            row.clear();
+            row.extend_from_slice(data.table().row(arrival as usize % data.table().n_rows()));
+            plan.corrupt_row(arrival, &mut row);
+            let _ = stream.try_absorb(&row);
+        }
+        walls.push(start.elapsed().as_secs_f64() * 1e3);
+        let stats = stream.ingest_stats();
+        entry.admitted += stats.admitted_rows;
+        entry.rejected += stats.rejected_rows;
+        entry.quarantined += stats.quarantined_rows;
+        entry.coerced_rows += stats.coerced_rows;
+        entry.coerced_values += stats.coerced_values;
+        let health = stream.serving_health();
+        entry.health_transitions += health.transitions;
+        match health.state {
+            HealthState::Healthy => entry.healthy_runs += 1,
+            HealthState::Drifting => entry.drifting_runs += 1,
+            HealthState::Degraded => entry.degraded_runs += 1,
+        }
+    }
+    entry.wall_ms_mean = walls.iter().sum::<f64>() / walls.len() as f64;
+    entry
+}
+
+/// The ingest-axis invariants: every offered row is accounted for exactly
+/// once, each policy's signature counters fire, and the whole corrupted
+/// replay is deterministic per seed.
+fn ingest_gate(cells: &[IngestEntry], data: &Dataset, seeds: u64, arrivals: u64) {
+    let find = |p: &str| cells.iter().find(|e| e.policy == p).expect("policy present");
+    for entry in cells {
+        assert_eq!(
+            entry.admitted + entry.rejected + entry.quarantined,
+            entry.arrivals,
+            "{}: offered rows not conserved",
+            entry.policy
+        );
+        assert!(entry.wall_ms_mean.is_finite());
+    }
+    let reject = find("reject");
+    assert!(reject.rejected > 0, "reject policy never rejected");
+    assert_eq!(reject.quarantined, 0, "reject policy must not quarantine");
+    assert_eq!(reject.coerced_values, 0, "reject policy must not coerce");
+    let as_missing = find("as-missing");
+    assert!(as_missing.coerced_values > 0, "as-missing never coerced");
+    assert!(as_missing.rejected > 0, "truncated rows must still be refused");
+    assert_eq!(as_missing.quarantined, 0, "as-missing must not quarantine");
+    let quarantine = find("quarantine");
+    assert!(quarantine.quarantined > 0, "quarantine policy never quarantined");
+    assert_eq!(quarantine.rejected, 0, "quarantine must divert, not refuse");
+    assert!(
+        cells.iter().any(|e| e.health_transitions > 0),
+        "the corrupted replay never moved the health machine"
+    );
+    // Same seeds, same corruption schedule, same walk — bit for bit.
+    for entry in cells {
+        let policy = match entry.policy {
+            "reject" => UnseenPolicy::Reject,
+            "as-missing" => UnseenPolicy::AsMissing,
+            _ => UnseenPolicy::Quarantine,
+        };
+        let replay = run_ingest_cell(policy, data, seeds, arrivals);
+        assert_eq!(
+            (
+                replay.admitted,
+                replay.rejected,
+                replay.quarantined,
+                replay.coerced_values,
+                replay.health_transitions,
+                replay.degraded_runs,
+            ),
+            (
+                entry.admitted,
+                entry.rejected,
+                entry.quarantined,
+                entry.coerced_values,
+                entry.health_transitions,
+                entry.degraded_runs,
+            ),
+            "{}: corrupted replay is not deterministic",
+            entry.policy
+        );
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let (n, seeds) = if args.quick { (240, 3) } else { (args.n, args.seeds) };
@@ -252,18 +407,60 @@ fn main() {
         }
     }
 
+    // The ingest axis: corrupted arrivals through the streaming trust
+    // boundary, on the separated suite (the clean regime isolates the
+    // boundary's own behaviour from clustering difficulty).
+    let arrivals = 2 * n as u64;
+    let (_, ingest_data, _) = &suites[0];
+    println!(
+        "\n{:<16} {:>9} {:>9} {:>9} {:>9} {:>8} {:>7} {:>6} {:>5} {:>5} {:>9}",
+        "ingest policy",
+        "arrivals",
+        "admit",
+        "reject",
+        "quar",
+        "coerced",
+        "health",
+        "ok",
+        "drift",
+        "degr",
+        "wall ms"
+    );
+    let ingest_cells: Vec<IngestEntry> =
+        [UnseenPolicy::Reject, UnseenPolicy::AsMissing, UnseenPolicy::Quarantine]
+            .into_iter()
+            .map(|policy| run_ingest_cell(policy, ingest_data, seeds, arrivals))
+            .collect();
+    for e in &ingest_cells {
+        println!(
+            "{:<16} {:>9} {:>9} {:>9} {:>9} {:>8} {:>7} {:>6} {:>5} {:>5} {:>9.2}",
+            e.policy,
+            e.arrivals,
+            e.admitted,
+            e.rejected,
+            e.quarantined,
+            e.coerced_values,
+            e.health_transitions,
+            e.healthy_runs,
+            e.drifting_runs,
+            e.degraded_runs,
+            e.wall_ms_mean,
+        );
+    }
+    ingest_gate(&ingest_cells, ingest_data, seeds, arrivals);
+
     if args.quick {
         println!("fault_chaos --quick: OK");
         return;
     }
-    let json = render_json(&entries, seeds, n);
+    let json = render_json(&entries, &ingest_cells, seeds, n);
     std::fs::write(&args.out, json).expect("write BENCH_faults.json");
     println!("\nwrote {}", args.out);
 }
 
 /// Hand-rolled JSON (the workspace has no serde_json; labels are plain
 /// ASCII, numbers are finite).
-fn render_json(entries: &[Entry], seeds: u64, n: usize) -> String {
+fn render_json(entries: &[Entry], ingest: &[IngestEntry], seeds: u64, n: usize) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"fault_chaos\",\n");
     out.push_str(&format!("  \"fit_seeds\": {seeds},\n"));
@@ -291,6 +488,31 @@ fn render_json(entries: &[Entry], seeds: u64, n: usize) -> String {
             e.rejected_deltas,
             e.worst_survivor_permille,
             if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"ingest_entries\": [\n");
+    for (i, e) in ingest.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"suite\": \"ingest\", \"policy\": \"{}\", \"arrivals\": {}, \
+             \"admitted\": {}, \"rejected\": {}, \"quarantined\": {}, \
+             \"coerced_rows\": {}, \"coerced_values\": {}, \
+             \"health_transitions\": {}, \"healthy_runs\": {}, \
+             \"drifting_runs\": {}, \"degraded_runs\": {}, \
+             \"wall_ms_mean\": {:.3}}}{}\n",
+            e.policy,
+            e.arrivals,
+            e.admitted,
+            e.rejected,
+            e.quarantined,
+            e.coerced_rows,
+            e.coerced_values,
+            e.health_transitions,
+            e.healthy_runs,
+            e.drifting_runs,
+            e.degraded_runs,
+            e.wall_ms_mean,
+            if i + 1 < ingest.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

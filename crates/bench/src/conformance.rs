@@ -28,7 +28,8 @@ use categorical_data::synth::GeneratorConfig;
 use categorical_data::{CategoricalTable, MISSING};
 use cluster_eval::accuracy;
 use mcdc_core::{
-    DeltaAverage, DeltaMomentum, ExecutionPlan, Mcdc, McdcResult, OverlapShards, Rotate, WarmStart,
+    DeltaAverage, DeltaMomentum, ExecutionPlan, FaultPlan, Mcdc, McdcResult, Mgcpl, OverlapShards,
+    Rotate, StreamingMcdc, UnseenPolicy, WarmStart,
 };
 use mcdc_reference::{
     distinct_labels, partition_entropy, reference_mcdc, ReferenceConfig, ReferenceMcdc,
@@ -514,17 +515,34 @@ pub struct GateCounters {
     pub full_rescans: u64,
     /// Sweeps skipped by lazy pruning.
     pub skipped_rescans: u64,
+    /// Rows refused at the ingestion boundary
+    /// ([`mcdc_core::IngestStats::rejected_rows`]); only the
+    /// streaming-ingest suite drives this.
+    pub rejected_rows: u64,
+    /// Rows diverted to the quarantine buffer
+    /// ([`mcdc_core::IngestStats::quarantined_rows`]).
+    pub quarantined_rows: u64,
+    /// Out-of-domain values coerced to MISSING
+    /// ([`mcdc_core::IngestStats::coerced_values`]).
+    pub coerced_values: u64,
+    /// Serving-health state transitions
+    /// ([`mcdc_core::ServingHealth::transitions`]).
+    pub health_transitions: u64,
 }
 
 impl GateCounters {
     /// The counters as `(name, value)` pairs, in file order.
-    pub fn fields(&self) -> [(&'static str, u64); 5] {
+    pub fn fields(&self) -> [(&'static str, u64); 9] {
         [
             ("score_evals", self.score_evals),
             ("merges", self.merges),
             ("passes", self.passes),
             ("full_rescans", self.full_rescans),
             ("skipped_rescans", self.skipped_rescans),
+            ("rejected_rows", self.rejected_rows),
+            ("quarantined_rows", self.quarantined_rows),
+            ("coerced_values", self.coerced_values),
+            ("health_transitions", self.health_transitions),
         ]
     }
 }
@@ -539,6 +557,9 @@ pub struct GateSuite {
     pub lazy: bool,
     /// Mini-batch size; 0 = serial.
     pub batch: usize,
+    /// Streaming-ingest suite: drives corrupted traffic through the
+    /// `try_absorb` boundary instead of batch fits (DESIGN.md §11).
+    pub ingest: bool,
 }
 
 /// Rows per gate-suite table.
@@ -548,12 +569,14 @@ const GATE_SEEDS: [u64; 3] = [11, 12, 13];
 
 /// The checked-in gate suites: the lazy serial hot path (the one the
 /// candidate-pruned kernel accelerates — `k₀ = 24` arms it), the eager
-/// serial baseline, and the replicated merge path.
+/// serial baseline, the replicated merge path, and the streaming-ingest
+/// boundary under seeded row corruption.
 pub fn gate_suites() -> Vec<GateSuite> {
     vec![
-        GateSuite { name: "serial-lazy", lazy: true, batch: 0 },
-        GateSuite { name: "serial-eager", lazy: false, batch: 0 },
-        GateSuite { name: "replicated", lazy: false, batch: GATE_N / 4 },
+        GateSuite { name: "serial-lazy", lazy: true, batch: 0, ingest: false },
+        GateSuite { name: "serial-eager", lazy: false, batch: 0, ingest: false },
+        GateSuite { name: "replicated", lazy: false, batch: GATE_N / 4, ingest: false },
+        GateSuite { name: "streaming-ingest", lazy: false, batch: 0, ingest: true },
     ]
 }
 
@@ -562,6 +585,10 @@ pub fn gate_suites() -> Vec<GateSuite> {
 /// schedule and wall clock.
 pub fn measure_suite(suite: &GateSuite) -> GateCounters {
     let mut total = GateCounters::default();
+    if suite.ingest {
+        measure_ingest_suite(&mut total);
+        return total;
+    }
     for &seed in &GATE_SEEDS {
         let data =
             GeneratorConfig::new("gate", GATE_N, vec![6; 8], 3).noise(0.12).generate(seed).dataset;
@@ -580,6 +607,47 @@ pub fn measure_suite(suite: &GateSuite) -> GateCounters {
         }
     }
     total
+}
+
+/// Arrivals the streaming-ingest gate suite pushes through `try_absorb`
+/// per (seed, policy) run.
+const GATE_INGEST_ARRIVALS: u64 = 400;
+
+/// The streaming-ingest gate workload: per seed and per [`UnseenPolicy`],
+/// bootstrap a [`StreamingMcdc`], replay `GATE_INGEST_ARRIVALS` rows drawn
+/// cyclically from a fixed table with seeded [`FaultPlan`] row corruption
+/// armed, and sum the boundary counters. Everything — the corruption
+/// schedule, the admission decisions, the health walk — is a pure function
+/// of the seeds, so the counters are machine-independent.
+fn measure_ingest_suite(total: &mut GateCounters) {
+    for &seed in &GATE_SEEDS {
+        let data = GeneratorConfig::new("gate-ingest", 240, vec![4; 6], 3)
+            .noise(0.1)
+            .generate(seed)
+            .dataset;
+        let plan = FaultPlan::seeded(seed ^ 0x1A6E57)
+            .ingest_truncation_rate(0.08)
+            .ingest_out_of_domain_rate(0.15)
+            .ingest_missing_flood_rate(0.08);
+        for policy in [UnseenPolicy::Reject, UnseenPolicy::AsMissing, UnseenPolicy::Quarantine] {
+            let mut stream =
+                StreamingMcdc::bootstrap(Mgcpl::builder().seed(seed).build(), data.table())
+                    .expect("gate bootstrap fits")
+                    .with_unseen_policy(policy);
+            let mut row = Vec::new();
+            for arrival in 0..GATE_INGEST_ARRIVALS {
+                row.clear();
+                row.extend_from_slice(data.table().row(arrival as usize % data.table().n_rows()));
+                plan.corrupt_row(arrival, &mut row);
+                let _ = stream.try_absorb(&row);
+            }
+            let stats = stream.ingest_stats();
+            total.rejected_rows += stats.rejected_rows;
+            total.quarantined_rows += stats.quarantined_rows;
+            total.coerced_values += stats.coerced_values;
+            total.health_transitions += stream.serving_health().transitions;
+        }
+    }
 }
 
 /// Parsed `PERF_GATES.toml`: the regression tolerance and the per-suite
@@ -632,6 +700,10 @@ pub fn parse_gates(text: &str) -> Result<GateFile, String> {
             "passes" => counters.passes = parsed,
             "full_rescans" => counters.full_rescans = parsed,
             "skipped_rescans" => counters.skipped_rescans = parsed,
+            "rejected_rows" => counters.rejected_rows = parsed,
+            "quarantined_rows" => counters.quarantined_rows = parsed,
+            "coerced_values" => counters.coerced_values = parsed,
+            "health_transitions" => counters.health_transitions = parsed,
             other => return Err(format!("line {}: unknown counter `{other}`", lineno + 1)),
         }
     }
@@ -750,9 +822,20 @@ mod tests {
                     passes: 45,
                     full_rescans: 6,
                     skipped_rescans: 7,
+                    ..Default::default()
                 },
             ),
             ("replicated".to_string(), GateCounters { merges: 99, ..Default::default() }),
+            (
+                "streaming-ingest".to_string(),
+                GateCounters {
+                    rejected_rows: 31,
+                    quarantined_rows: 29,
+                    coerced_values: 17,
+                    health_transitions: 5,
+                    ..Default::default()
+                },
+            ),
         ];
         let text = render_gates(0.05, &suites);
         let parsed = parse_gates(&text).unwrap();
@@ -771,6 +854,7 @@ mod tests {
             passes: 100,
             full_rescans: 50,
             skipped_rescans: 50,
+            ..Default::default()
         };
         assert_eq!(compare_counters("s", &base, &base, 0.05), Ok(vec![]));
         let grown = GateCounters { score_evals: 1100, ..base };
@@ -781,6 +865,23 @@ mod tests {
         let stale = compare_counters("s", &base, &shrunk, 0.05).unwrap();
         assert_eq!(stale.len(), 1);
         assert!(stale[0].contains("re-baseline"));
+    }
+
+    #[test]
+    fn ingest_suite_counters_fire_and_replay_deterministically() {
+        let suite = gate_suites().into_iter().find(|s| s.ingest).expect("ingest suite listed");
+        assert_eq!(suite.name, "streaming-ingest");
+        let first = measure_suite(&suite);
+        // Every boundary counter is exercised by the corruption mix:
+        // truncation rejects under all policies, out-of-domain rejects /
+        // coerces / quarantines per policy, and the reject pressure walks
+        // the health machine.
+        assert!(first.rejected_rows > 0, "no rejections: {first:?}");
+        assert!(first.quarantined_rows > 0, "no quarantines: {first:?}");
+        assert!(first.coerced_values > 0, "no coercions: {first:?}");
+        assert!(first.health_transitions > 0, "health machine never moved: {first:?}");
+        assert_eq!(first.score_evals, 0, "ingest suite must not touch fit counters");
+        assert_eq!(measure_suite(&suite), first, "same seeds, same counters");
     }
 
     #[test]

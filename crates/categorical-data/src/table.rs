@@ -75,13 +75,33 @@ impl CategoricalTable {
     }
 
     fn validate(&self) -> Result<(), DataError> {
-        for r in 0..self.schema.n_features() {
+        for i in 0..self.n_rows {
+            self.validate_row(self.row(i))?;
+        }
+        Ok(())
+    }
+
+    /// Checks that `row` is admissible under this table's schema: correct
+    /// arity, and every code either in its feature's domain or
+    /// [`MISSING`](crate::MISSING). This is the single validation gate used
+    /// by [`push_row`](CategoricalTable::push_row) and
+    /// [`replace_row`](CategoricalTable::replace_row), exposed so callers
+    /// holding untrusted rows can vet them without mutating the table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::RowArity`] on arity mismatch and
+    /// [`DataError::CodeOutOfDomain`] for the first code that is neither
+    /// in-domain nor [`MISSING`](crate::MISSING).
+    pub fn validate_row(&self, row: &[u32]) -> Result<(), DataError> {
+        let d = self.schema.n_features();
+        if row.len() != d {
+            return Err(DataError::RowArity { expected: d, found: row.len() });
+        }
+        for (r, &code) in row.iter().enumerate() {
             let m = self.schema.domain(r).cardinality();
-            for i in 0..self.n_rows {
-                let code = self.value(i, r);
-                if code != MISSING && code >= m {
-                    return Err(DataError::CodeOutOfDomain { feature: r, code, cardinality: m });
-                }
+            if code != MISSING && code >= m {
+                return Err(DataError::CodeOutOfDomain { feature: r, code, cardinality: m });
             }
         }
         Ok(())
@@ -95,16 +115,7 @@ impl CategoricalTable {
     /// [`DataError::CodeOutOfDomain`] if a code is neither in-domain nor
     /// [`MISSING`](crate::MISSING).
     pub fn push_row(&mut self, row: &[u32]) -> Result<(), DataError> {
-        let d = self.schema.n_features();
-        if row.len() != d {
-            return Err(DataError::RowArity { expected: d, found: row.len() });
-        }
-        for (r, &code) in row.iter().enumerate() {
-            let m = self.schema.domain(r).cardinality();
-            if code != MISSING && code >= m {
-                return Err(DataError::CodeOutOfDomain { feature: r, code, cardinality: m });
-            }
-        }
+        self.validate_row(row)?;
         self.data.extend_from_slice(row);
         self.n_rows += 1;
         Ok(())
@@ -124,16 +135,8 @@ impl CategoricalTable {
     /// Panics if `i >= self.n_rows()`.
     pub fn replace_row(&mut self, i: usize, row: &[u32]) -> Result<(), DataError> {
         assert!(i < self.n_rows, "row index out of bounds");
+        self.validate_row(row)?;
         let d = self.schema.n_features();
-        if row.len() != d {
-            return Err(DataError::RowArity { expected: d, found: row.len() });
-        }
-        for (r, &code) in row.iter().enumerate() {
-            let m = self.schema.domain(r).cardinality();
-            if code != MISSING && code >= m {
-                return Err(DataError::CodeOutOfDomain { feature: r, code, cardinality: m });
-            }
-        }
         self.data[i * d..(i + 1) * d].copy_from_slice(row);
         Ok(())
     }
@@ -299,6 +302,19 @@ mod tests {
         let mut t = CategoricalTable::new(Schema::uniform(2, 2));
         let err = t.push_row(&[0, 2]).unwrap_err();
         assert!(matches!(err, DataError::CodeOutOfDomain { feature: 1, code: 2, .. }));
+    }
+
+    #[test]
+    fn validate_row_checks_without_mutating() {
+        let t = table_2x3();
+        assert_eq!(t.validate_row(&[0, 0, 0]), Ok(()));
+        assert_eq!(t.validate_row(&[MISSING, 0, MISSING]), Ok(()));
+        assert_eq!(t.validate_row(&[0, 0]), Err(DataError::RowArity { expected: 3, found: 2 }));
+        assert_eq!(
+            t.validate_row(&[0, 4, 0]),
+            Err(DataError::CodeOutOfDomain { feature: 1, code: 4, cardinality: 4 })
+        );
+        assert_eq!(t.n_rows(), 2);
     }
 
     #[test]

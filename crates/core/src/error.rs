@@ -34,6 +34,26 @@ pub enum McdcError {
         /// Human-readable description of the violated constraint.
         message: String,
     },
+    /// A row presented at a checked boundary (`try_absorb`,
+    /// `try_serve_one`, …) does not have the schema's feature count.
+    ArityMismatch {
+        /// Feature count the model was fitted on.
+        expected: usize,
+        /// Feature count of the offending row.
+        found: usize,
+    },
+    /// A row presented at a checked boundary carries a value code outside
+    /// the fitted domain of its feature (and the code is not
+    /// [`MISSING`](categorical_data::MISSING)).
+    OutOfDomain {
+        /// Index of the offending feature.
+        feature: usize,
+        /// The out-of-domain code.
+        code: u32,
+        /// Cardinality of the fitted domain (valid codes are
+        /// `0..cardinality`).
+        cardinality: u32,
+    },
 }
 
 impl fmt::Display for McdcError {
@@ -51,6 +71,15 @@ impl fmt::Display for McdcError {
             }
             McdcError::InvalidShards { message } => {
                 write!(f, "invalid execution shards: {message}")
+            }
+            McdcError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: expected {expected} features, found {found}")
+            }
+            McdcError::OutOfDomain { feature, code, cardinality } => {
+                write!(
+                    f,
+                    "code {code} out of domain for feature {feature} (cardinality {cardinality})"
+                )
             }
         }
     }

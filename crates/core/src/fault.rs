@@ -43,6 +43,26 @@ pub enum ReplicaFault {
     },
 }
 
+/// Outcome of probing a [`FaultPlan`] for one ingest arrival — which
+/// corruption, if any, hits the row before it reaches the absorb boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestFault {
+    /// The row arrives intact.
+    Clean,
+    /// The row arrives with trailing features sheared off (arity
+    /// mismatch): a truncated record, the classic wire-format failure.
+    Truncate,
+    /// One value code is replaced by a code outside every fitted domain:
+    /// an unseen category, a re-encoded upstream vocabulary, or plain
+    /// bit rot.
+    OutOfDomain,
+    /// Most of the row's values are blanked to
+    /// [`MISSING`](categorical_data::MISSING). The row stays *admissible*
+    /// (MISSING is always legal) — this axis stresses quality degradation
+    /// and drift accounting, not rejection.
+    MissingFlood,
+}
+
 /// Outcome of probing a [`FaultPlan`] for one replica's merge delta.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeltaFault {
@@ -84,6 +104,9 @@ pub struct FaultPlan {
     straggler_deadline: u64,
     delta_corruption: f64,
     delta_drop: f64,
+    ingest_truncation: f64,
+    ingest_out_of_domain: f64,
+    ingest_missing_flood: f64,
     retry_budget: usize,
     fail_at: Vec<(u64, usize)>,
     straggle_at: Vec<(u64, usize)>,
@@ -101,6 +124,9 @@ impl Default for FaultPlan {
             straggler_deadline: 0,
             delta_corruption: 0.0,
             delta_drop: 0.0,
+            ingest_truncation: 0.0,
+            ingest_out_of_domain: 0.0,
+            ingest_missing_flood: 0.0,
             retry_budget: 2,
             fail_at: Vec::new(),
             straggle_at: Vec::new(),
@@ -169,6 +195,31 @@ impl FaultPlan {
         self
     }
 
+    /// Per-arrival probability that an ingest row is truncated (arity
+    /// mismatch at the absorb boundary).
+    #[must_use]
+    pub fn ingest_truncation_rate(mut self, rate: f64) -> Self {
+        self.ingest_truncation = rate;
+        self
+    }
+
+    /// Per-arrival probability that one of an ingest row's codes is
+    /// replaced by an out-of-domain value.
+    #[must_use]
+    pub fn ingest_out_of_domain_rate(mut self, rate: f64) -> Self {
+        self.ingest_out_of_domain = rate;
+        self
+    }
+
+    /// Per-arrival probability that an ingest row is flooded with
+    /// [`MISSING`](categorical_data::MISSING) values (still admissible,
+    /// but informationless — a quality fault, not an admission fault).
+    #[must_use]
+    pub fn ingest_missing_flood_rate(mut self, rate: f64) -> Self {
+        self.ingest_missing_flood = rate;
+        self
+    }
+
     /// Per-shard execution attempt budget (default 2: one retry after a
     /// first failure). A replica that fails `budget` attempts in one merge
     /// step is quarantined for that step. A budget of 0 is the degenerate
@@ -211,9 +262,13 @@ impl FaultPlan {
         self
     }
 
-    /// Whether this plan can never inject a fault (all rates zero, no
+    /// Whether this plan can never inject an *engine-side* fault (replica
+    /// crashes, stragglers, δ corruption/drops — all rates zero, no
     /// targeted events). The engine takes the exact pre-fault code path
-    /// when this holds.
+    /// when this holds. Ingest corruption is a separate channel applied at
+    /// the absorb boundary, *before* rows reach the engine — see
+    /// [`has_ingest_faults`](FaultPlan::has_ingest_faults) — so it does not
+    /// arm the engine's fault machinery.
     #[must_use]
     pub fn is_none(&self) -> bool {
         self.replica_failure == 0.0
@@ -224,6 +279,15 @@ impl FaultPlan {
             && self.straggle_at.is_empty()
             && self.corrupt_at.is_empty()
             && self.drop_at.is_empty()
+    }
+
+    /// Whether any ingest-corruption rate is armed (see
+    /// [`corrupt_row`](FaultPlan::corrupt_row)).
+    #[must_use]
+    pub fn has_ingest_faults(&self) -> bool {
+        self.ingest_truncation > 0.0
+            || self.ingest_out_of_domain > 0.0
+            || self.ingest_missing_flood > 0.0
     }
 
     /// The per-shard attempt budget (see
@@ -249,6 +313,9 @@ impl FaultPlan {
             ("fault.straggler_rate", self.straggler),
             ("fault.delta_corruption_rate", self.delta_corruption),
             ("fault.delta_drop_rate", self.delta_drop),
+            ("fault.ingest_truncation_rate", self.ingest_truncation),
+            ("fault.ingest_out_of_domain_rate", self.ingest_out_of_domain),
+            ("fault.ingest_missing_flood_rate", self.ingest_missing_flood),
         ];
         for (parameter, rate) in rates {
             if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
@@ -312,6 +379,75 @@ impl FaultPlan {
             return DeltaFault::Drop;
         }
         DeltaFault::Clean
+    }
+
+    /// The fate of ingest `arrival` (0-based arrival index at the absorb
+    /// boundary). Truncation takes precedence over out-of-domain
+    /// substitution, then MISSING flooding — each class draws its own
+    /// independent channel, like the engine-side probes.
+    #[must_use]
+    pub fn ingest_fault(&self, arrival: u64) -> IngestFault {
+        if self.ingest_truncation > 0.0 && self.draw(5, arrival, 0, 0) < self.ingest_truncation {
+            return IngestFault::Truncate;
+        }
+        if self.ingest_out_of_domain > 0.0
+            && self.draw(6, arrival, 0, 0) < self.ingest_out_of_domain
+        {
+            return IngestFault::OutOfDomain;
+        }
+        if self.ingest_missing_flood > 0.0
+            && self.draw(7, arrival, 0, 0) < self.ingest_missing_flood
+        {
+            return IngestFault::MissingFlood;
+        }
+        IngestFault::Clean
+    }
+
+    /// Applies [`ingest_fault`](FaultPlan::ingest_fault)'s verdict for
+    /// `arrival` to `row` in place and returns it, so a driver can corrupt
+    /// a clean stream deterministically: same plan, same arrival index,
+    /// same row → same corrupted bytes, on every machine and run.
+    ///
+    /// * [`IngestFault::Truncate`] shears the row to a seeded shorter
+    ///   length (always strictly shorter, so the arity check must fire).
+    /// * [`IngestFault::OutOfDomain`] overwrites one seeded position with
+    ///   a code near `u32::MAX` — far outside any realistic domain, and
+    ///   never equal to [`MISSING`](categorical_data::MISSING).
+    /// * [`IngestFault::MissingFlood`] blanks each position to MISSING
+    ///   with high seeded probability, at least one always; the row stays
+    ///   admissible.
+    ///
+    /// Empty rows are returned untouched (there is nothing to corrupt).
+    pub fn corrupt_row(&self, arrival: u64, row: &mut Vec<u32>) -> IngestFault {
+        let fault = self.ingest_fault(arrival);
+        if row.is_empty() {
+            return fault;
+        }
+        let len = row.len();
+        match fault {
+            IngestFault::Clean => {}
+            IngestFault::Truncate => {
+                let keep = (self.draw(8, arrival, 0, 0) * len as f64) as usize;
+                row.truncate(keep.min(len - 1));
+            }
+            IngestFault::OutOfDomain => {
+                let pos = ((self.draw(9, arrival, 0, 0) * len as f64) as usize).min(len - 1);
+                let jitter = (self.draw(10, arrival, 0, 0) * 256.0) as u32;
+                // Near-u32::MAX, never MISSING (u32::MAX itself): out of
+                // every fitted domain a generator can produce.
+                row[pos] = u32::MAX - 1 - jitter;
+            }
+            IngestFault::MissingFlood => {
+                for (r, code) in row.iter_mut().enumerate() {
+                    if self.draw(11, arrival, r, 0) < 0.8 {
+                        *code = categorical_data::MISSING;
+                    }
+                }
+                let force = ((self.draw(12, arrival, 0, 0) * len as f64) as usize).min(len - 1);
+                row[force] = categorical_data::MISSING;
+            }
+        }
+        fault
     }
 
     /// Uniform draw in `[0, 1)` from the hash of
@@ -453,6 +589,68 @@ mod tests {
         // A rate of exactly 0.0 never fires.
         let never = FaultPlan::seeded(1).replica_failure_rate(0.0);
         assert_eq!(never.replica_fault(0, 0, 0), ReplicaFault::Healthy);
+    }
+
+    #[test]
+    fn ingest_corruption_is_deterministic_and_rate_honoring() {
+        let plan = FaultPlan::seeded(9)
+            .ingest_truncation_rate(0.2)
+            .ingest_out_of_domain_rate(0.3)
+            .ingest_missing_flood_rate(0.2);
+        assert!(plan.has_ingest_faults());
+        assert!(plan.is_none(), "ingest faults must not arm the engine fault path");
+        assert!(plan.validate().is_ok());
+        let base = vec![1u32, 2, 3, 0, 1];
+        let mut kinds = [0usize; 4];
+        for arrival in 0..400u64 {
+            let mut row = base.clone();
+            let mut again = base.clone();
+            let fault = plan.corrupt_row(arrival, &mut row);
+            let fault2 = plan.corrupt_row(arrival, &mut again);
+            assert_eq!(fault, fault2);
+            assert_eq!(row, again, "same coordinates must corrupt identically");
+            match fault {
+                IngestFault::Clean => {
+                    kinds[0] += 1;
+                    assert_eq!(row, base);
+                }
+                IngestFault::Truncate => {
+                    kinds[1] += 1;
+                    assert!(row.len() < base.len());
+                }
+                IngestFault::OutOfDomain => {
+                    kinds[2] += 1;
+                    assert_eq!(row.len(), base.len());
+                    assert!(row.iter().any(|&c| c != categorical_data::MISSING && c > 0x8000_0000));
+                }
+                IngestFault::MissingFlood => {
+                    kinds[3] += 1;
+                    assert!(row.contains(&categorical_data::MISSING));
+                }
+            }
+        }
+        // Every class fires under its armed rate, and clean rows survive.
+        assert!(kinds.iter().all(|&c| c > 0), "class mix {kinds:?}");
+        // Unarmed plans never corrupt.
+        let mut row = base.clone();
+        assert_eq!(FaultPlan::none().corrupt_row(7, &mut row), IngestFault::Clean);
+        assert_eq!(row, base);
+        assert!(!FaultPlan::none().has_ingest_faults());
+    }
+
+    #[test]
+    fn ingest_rates_are_validated() {
+        for bad in [f64::NAN, f64::INFINITY, -0.1, 1.5] {
+            assert!(FaultPlan::seeded(1).ingest_truncation_rate(bad).validate().is_err());
+            assert!(FaultPlan::seeded(1).ingest_out_of_domain_rate(bad).validate().is_err());
+            assert!(FaultPlan::seeded(1).ingest_missing_flood_rate(bad).validate().is_err());
+        }
+        assert!(FaultPlan::seeded(1)
+            .ingest_truncation_rate(1.0)
+            .ingest_out_of_domain_rate(0.0)
+            .ingest_missing_flood_rate(1.0)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -202,6 +202,16 @@ impl FrozenModel {
         self.offsets.len() - 1
     }
 
+    /// Fitted domain cardinality of feature `r` (valid codes are
+    /// `0..cardinality`, plus [`MISSING`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.n_features()`.
+    pub fn feature_cardinality(&self, r: usize) -> u32 {
+        self.offsets[r + 1] - self.offsets[r]
+    }
+
     /// Total flat values across all feature domains.
     pub fn total_values(&self) -> usize {
         *self.offsets.last().expect("offsets hold d + 1 entries") as usize
@@ -226,11 +236,20 @@ impl FrozenModel {
     /// `LANES`-wide (8-lane) register blocks; MISSING values contribute nothing,
     /// exactly like the live scoring kernels.
     ///
+    /// This is the **trusted-input fast path**: the row must satisfy
+    /// [`validate_row`](Self::validate_row) (correct arity, every code
+    /// in-domain or MISSING). A release build fed a malformed row either
+    /// reads out of the scoring table's bounds (a panic, since the crate
+    /// forbids `unsafe`) or folds unrelated table entries into the argmax —
+    /// never undefined behaviour, but never a meaningful label. Rows from
+    /// outside the trust boundary go through
+    /// [`try_score_one`](Self::try_score_one) instead, which validates
+    /// first and returns the identical label on clean input.
+    ///
     /// # Panics
     ///
-    /// Panics (in debug builds) when the row arity mismatches the model;
-    /// out-of-domain codes return a meaningless label in release builds,
-    /// as with the live kernels.
+    /// Panics (in debug builds) when the row arity mismatches the model or
+    /// a code is out of domain.
     #[inline]
     pub fn score_one(&self, row: &[u32]) -> u32 {
         let d = self.n_features();
@@ -276,6 +295,62 @@ impl FrozenModel {
     {
         out.clear();
         out.extend(rows.into_iter().map(|row| self.score_one(row)));
+    }
+
+    /// Checks that `row` is admissible for scoring: the model's arity, and
+    /// every code either [`MISSING`] or within its feature's fitted domain
+    /// (the schema CSR baked into the model at freeze time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdcError::ArityMismatch`] on arity mismatch and
+    /// [`McdcError::OutOfDomain`] for the first inadmissible code.
+    pub fn validate_row(&self, row: &[u32]) -> Result<(), McdcError> {
+        let d = self.n_features();
+        if row.len() != d {
+            return Err(McdcError::ArityMismatch { expected: d, found: row.len() });
+        }
+        for (r, (&code, pair)) in row.iter().zip(self.offsets.windows(2)).enumerate() {
+            let cardinality = pair[1] - pair[0];
+            if code != MISSING && code >= cardinality {
+                return Err(McdcError::OutOfDomain { feature: r, code, cardinality });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`score_one`](Self::score_one) behind the trust boundary: validates
+    /// the row first and only then scores it, so no input — wrong arity,
+    /// out-of-domain codes, MISSING-dense or all-MISSING rows — can panic
+    /// or touch out-of-bounds table entries. On clean input the label is
+    /// bit-identical to [`score_one`](Self::score_one).
+    ///
+    /// # Errors
+    ///
+    /// The [`validate_row`](Self::validate_row) conditions.
+    pub fn try_score_one(&self, row: &[u32]) -> Result<u32, McdcError> {
+        self.validate_row(row)?;
+        Ok(self.score_one(row))
+    }
+
+    /// [`try_score_one`](Self::try_score_one) over a batch of rows into a
+    /// caller-provided buffer. `out` is cleared, then filled row by row; on
+    /// the first inadmissible row the error is returned and `out` holds the
+    /// labels of the rows preceding it, so a caller can resume or discard.
+    ///
+    /// # Errors
+    ///
+    /// The [`validate_row`](Self::validate_row) conditions, for the first
+    /// offending row.
+    pub fn try_score_batch<'a, I>(&self, rows: I, out: &mut Vec<u32>) -> Result<(), McdcError>
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        out.clear();
+        for row in rows {
+            out.push(self.try_score_one(row)?);
+        }
+        Ok(())
     }
 
     /// Serializes the model into the versioned little-endian binary format
@@ -483,6 +558,42 @@ mod tests {
         let frozen = FrozenModel::from_profiles(&profiles);
         assert_eq!(frozen.score_one(&[0, 1]), 0);
         assert_eq!(frozen.score_one(&[1, 0]), 0);
+    }
+
+    #[test]
+    fn try_score_one_validates_and_matches_fast_path() {
+        let schema = Schema::uniform(3, 4);
+        let rows: &[&[u32]] = &[&[0, 1, 2], &[0, 1, 3], &[3, 2, 0], &[3, 2, 1]];
+        let labels = [0usize, 0, 1, 1];
+        let profiles = profiles_for(rows, &labels, 2, &schema);
+        let frozen = FrozenModel::from_profiles(&profiles);
+        for row in rows {
+            assert_eq!(frozen.try_score_one(row).unwrap(), frozen.score_one(row));
+        }
+        assert_eq!(
+            frozen.try_score_one(&[0, 1]),
+            Err(McdcError::ArityMismatch { expected: 3, found: 2 })
+        );
+        assert_eq!(
+            frozen.try_score_one(&[0, 4, 0]),
+            Err(McdcError::OutOfDomain { feature: 1, code: 4, cardinality: 4 })
+        );
+        // All-MISSING rows are admissible and tie-break to the first index.
+        assert_eq!(frozen.try_score_one(&[MISSING; 3]).unwrap(), 0);
+    }
+
+    #[test]
+    fn try_score_batch_stops_at_first_bad_row() {
+        let schema = Schema::uniform(2, 2);
+        let profiles = profiles_for(&[&[0, 1], &[1, 0]], &[0, 1], 2, &schema);
+        let frozen = FrozenModel::from_profiles(&profiles);
+        let mut out = Vec::new();
+        let rows: &[&[u32]] = &[&[0, 1], &[9, 9], &[1, 0]];
+        let err = frozen.try_score_batch(rows.iter().copied(), &mut out).unwrap_err();
+        assert!(matches!(err, McdcError::OutOfDomain { feature: 0, code: 9, .. }));
+        assert_eq!(out, vec![0]);
+        frozen.try_score_batch([&[0u32, 1u32] as &[u32]], &mut out).unwrap();
+        assert_eq!(out, vec![0]);
     }
 
     #[test]

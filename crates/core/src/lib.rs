@@ -26,7 +26,10 @@
 //!   re-weighting, and poisoned-δ rejection (DESIGN.md §8);
 //! * [`StreamingMcdc`] — online absorption with drift-triggered re-fits
 //!   over a bounded reservoir, rolling back re-fits that degrade below a
-//!   survivor quorum;
+//!   survivor quorum; its `try_absorb`/`try_serve_*` boundary validates
+//!   untrusted rows under an [`UnseenPolicy`] and exposes a
+//!   [`ServingHealth`] state machine with exponential re-fit backoff
+//!   (DESIGN.md §11);
 //! * [`FrozenModel`] — fitted models compacted into read-only, cache-dense
 //!   scoring tables for the serving hot path: `score_one`/`score_batch`
 //!   match the live kernels' argmax bit for bit, and the versioned
@@ -83,7 +86,7 @@ pub use competitive::{CompetitiveLearning, CompetitiveResult};
 pub use encoding::{encode_mgcpl, encode_partitions};
 pub use error::McdcError;
 pub use execution::{ExecutionPlan, WarmStart};
-pub use fault::{DeltaFault, FaultPlan, ReplicaFault};
+pub use fault::{DeltaFault, FaultPlan, IngestFault, ReplicaFault};
 pub use frozen::FrozenModel;
 pub use mgcpl::{Mgcpl, MgcplBuilder, MgcplResult};
 pub use pipeline::{Mcdc, McdcBuilder, McdcResult};
@@ -91,6 +94,9 @@ pub use profile::{score_all, score_all_transposed, ClusterProfile};
 pub use reconcile::{
     DeltaAverage, DeltaMomentum, OverlapShards, Reconcile, ReconcileDescriptor, Rotate,
 };
-pub use streaming::{MgcplResultSummary, StreamingMcdc};
+pub use streaming::{
+    Admission, HealthState, IngestStats, MgcplResultSummary, ServingHealth, StreamingMcdc,
+    UnseenPolicy,
+};
 pub use trace::{HotPathStats, LearningTrace, StageRecord};
 pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};

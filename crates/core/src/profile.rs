@@ -47,8 +47,14 @@ fn inv_count(table: &[f64], p: u32) -> f64 {
 ///
 /// Query codes must be in-domain (or [`MISSING`]): rows produced by a
 /// [`CategoricalTable`] always are (construction validates them), and the
-/// kernels `debug_assert` it — a release build fed an out-of-domain code
-/// returns a meaningless similarity instead of panicking.
+/// kernels `debug_assert` it. These are the **trusted-input fast paths** —
+/// a release build fed an out-of-domain code either panics on the
+/// bounds-checked lookup (the crate forbids `unsafe`) or, when the flat
+/// index happens to land inside another feature's counts, folds an
+/// unrelated frequency into the sum: never undefined behaviour, but never
+/// a meaningful similarity. Rows from outside the trust boundary go
+/// through [`try_similarity`](ClusterProfile::try_similarity), which
+/// validates first and is bit-identical on clean input.
 ///
 /// # Example
 ///
@@ -371,6 +377,40 @@ impl ClusterProfile {
             }
         }
         acc * self.inv_arity
+    }
+
+    /// Checks that `row` is admissible for this profile's layout: correct
+    /// arity, every code in its feature's domain or [`MISSING`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::McdcError::ArityMismatch`] on arity mismatch and
+    /// [`crate::McdcError::OutOfDomain`] for the first inadmissible code.
+    pub fn validate_row(&self, row: &[u32]) -> Result<(), crate::McdcError> {
+        let d = self.present.len();
+        if row.len() != d {
+            return Err(crate::McdcError::ArityMismatch { expected: d, found: row.len() });
+        }
+        for (r, &code) in row.iter().enumerate() {
+            let cardinality = self.layout.cardinality(r) as u32;
+            if code != MISSING && code >= cardinality {
+                return Err(crate::McdcError::OutOfDomain { feature: r, code, cardinality });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`similarity`](Self::similarity) behind the trust boundary:
+    /// validates the row first, so no input can panic or fold out-of-bounds
+    /// entries into the mean. On clean input the value is bit-identical to
+    /// the fast path.
+    ///
+    /// # Errors
+    ///
+    /// The [`validate_row`](Self::validate_row) conditions.
+    pub fn try_similarity(&self, row: &[u32]) -> Result<f64, crate::McdcError> {
+        self.validate_row(row)?;
+        Ok(self.similarity(row))
     }
 
     /// Feature-weighted object–cluster similarity of Eq. (14):
@@ -787,6 +827,24 @@ mod tests {
         assert_eq!(p.present(2), 1);
         // Querying a missing value scores zero on that feature.
         assert!((p.similarity(&[0, MISSING, 1]) - (1.0 + 0.0 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_similarity_validates_and_matches_fast_path() {
+        let mut p = ClusterProfile::new(&schema());
+        p.add(&[0, 1, 2]);
+        p.add(&[0, 2, 2]);
+        let clean = [0u32, 1, 2];
+        assert_eq!(p.try_similarity(&clean).unwrap().to_bits(), p.similarity(&clean).to_bits());
+        assert_eq!(
+            p.try_similarity(&[0, 1]),
+            Err(crate::McdcError::ArityMismatch { expected: 3, found: 2 })
+        );
+        assert_eq!(
+            p.try_similarity(&[0, 7, 2]),
+            Err(crate::McdcError::OutOfDomain { feature: 1, code: 7, cardinality: 4 })
+        );
+        assert_eq!(p.try_similarity(&[MISSING; 3]).unwrap(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Adversarial property tests for the ingestion trust boundary
+//! (DESIGN.md §11): arbitrary `u32` rows — wrong arity, out-of-domain
+//! codes, MISSING-dense, all-MISSING — pushed through `try_absorb` and
+//! `try_serve_one` under every [`UnseenPolicy`] must never panic, must
+//! surface only the documented error variants, and must never corrupt
+//! the learner: a stream that refuses or quarantines a row behaves
+//! bit-identically to a twin never offered it.
+
+use categorical_data::synth::GeneratorConfig;
+use categorical_data::{CategoricalTable, MISSING};
+use mcdc_core::{Admission, McdcError, Mgcpl, StreamingMcdc, UnseenPolicy};
+use proptest::prelude::*;
+
+const ARITY: usize = 6;
+const CARDINALITY: u32 = 4;
+
+fn bootstrap_batch() -> CategoricalTable {
+    GeneratorConfig::new("hardening", 240, vec![CARDINALITY; ARITY], 3)
+        .noise(0.05)
+        .generate(41)
+        .dataset
+        .table()
+        .clone()
+}
+
+fn stream(policy: UnseenPolicy) -> StreamingMcdc {
+    StreamingMcdc::bootstrap(Mgcpl::builder().seed(9).build(), &bootstrap_batch())
+        .expect("bootstrap fits")
+        .with_unseen_policy(policy)
+}
+
+/// One arriving row, adversarial or clean, plus what the boundary should
+/// make of it.
+#[derive(Debug, Clone, PartialEq)]
+enum Verdict {
+    Clean,
+    WrongArity,
+    OutOfDomain,
+}
+
+fn classify(row: &[u32]) -> Verdict {
+    if row.len() != ARITY {
+        return Verdict::WrongArity;
+    }
+    if row.iter().any(|&c| c != MISSING && c >= CARDINALITY) {
+        return Verdict::OutOfDomain;
+    }
+    Verdict::Clean
+}
+
+/// Arbitrary traffic: raw `u32` rows of arbitrary length, biased so every
+/// shape (clean, short, long, out-of-domain, MISSING-dense, all-MISSING)
+/// shows up in most sequences.
+fn arbitrary_row() -> impl Strategy<Value = Vec<u32>> {
+    (0u32..6).prop_flat_map(|kind| match kind {
+        // Clean row (possibly with legal MISSING values).
+        0 => proptest::collection::vec(0u32..CARDINALITY, ARITY).boxed(),
+        // Wrong arity: too short or too long, values unconstrained.
+        1 => proptest::collection::vec(0u32..u32::MAX, 0..ARITY).boxed(),
+        2 => proptest::collection::vec(0u32..u32::MAX, ARITY + 1..2 * ARITY + 4).boxed(),
+        // Right arity, arbitrary codes (mostly out of domain).
+        3 => proptest::collection::vec(0u32..u32::MAX, ARITY).boxed(),
+        // MISSING-dense: legal codes with most positions knocked out.
+        4 => proptest::collection::vec(0u32..2 * CARDINALITY, ARITY)
+            .prop_map(|mut row| {
+                for (i, v) in row.iter_mut().enumerate() {
+                    if i % 3 != 0 {
+                        *v = MISSING;
+                    }
+                }
+                row
+            })
+            .boxed(),
+        // All-MISSING: admissible, maximally uninformative.
+        _ => Just(vec![MISSING; ARITY]).boxed(),
+    })
+}
+
+fn arbitrary_traffic() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(arbitrary_row(), 1..48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No input reachable through the `try_*` boundary panics, and every
+    /// outcome is the documented one for the row's shape and the policy.
+    #[test]
+    fn boundary_never_panics_and_reports_documented_errors(
+        traffic in arbitrary_traffic(),
+        policy_pick in 0u32..3,
+    ) {
+        let policy = [UnseenPolicy::Reject, UnseenPolicy::AsMissing, UnseenPolicy::Quarantine]
+            [policy_pick as usize];
+        let mut stream = stream(policy);
+        for row in &traffic {
+            let verdict = classify(row);
+            let served = stream.try_serve_one(row);
+            let absorbed = stream.try_absorb(row);
+            match (&verdict, policy) {
+                (Verdict::Clean, _) => {
+                    prop_assert!(served.is_ok());
+                    prop_assert!(matches!(
+                        absorbed,
+                        Ok(Admission::Learned { coerced_values: 0, .. })
+                    ));
+                }
+                (Verdict::WrongArity, UnseenPolicy::Quarantine) => {
+                    prop_assert!(matches!(served, Err(McdcError::ArityMismatch { .. })));
+                    prop_assert!(matches!(absorbed, Ok(Admission::Quarantined)));
+                }
+                (Verdict::WrongArity, _) => {
+                    prop_assert!(matches!(served, Err(McdcError::ArityMismatch { .. })));
+                    prop_assert!(matches!(absorbed, Err(McdcError::ArityMismatch { .. })));
+                }
+                (Verdict::OutOfDomain, UnseenPolicy::Reject) => {
+                    prop_assert!(matches!(served, Err(McdcError::OutOfDomain { .. })));
+                    prop_assert!(matches!(absorbed, Err(McdcError::OutOfDomain { .. })));
+                }
+                (Verdict::OutOfDomain, UnseenPolicy::AsMissing) => {
+                    // Serving coerces too: the label is the one the
+                    // MISSING-masked row scores to.
+                    prop_assert!(served.is_ok());
+                    prop_assert!(matches!(
+                        absorbed,
+                        Ok(Admission::Learned { coerced_values: 1.., .. })
+                    ));
+                }
+                (Verdict::OutOfDomain, UnseenPolicy::Quarantine) => {
+                    prop_assert!(matches!(served, Err(McdcError::OutOfDomain { .. })));
+                    prop_assert!(matches!(absorbed, Ok(Admission::Quarantined)));
+                }
+            }
+        }
+        // Conservation: every offered row is accounted for exactly once.
+        let stats = stream.ingest_stats();
+        prop_assert_eq!(
+            stats.admitted_rows + stats.rejected_rows + stats.quarantined_rows,
+            traffic.len() as u64
+        );
+        prop_assert!(stream.quarantined().len() as u64 <= stats.quarantined_rows);
+    }
+
+    /// Under `Reject` and `Quarantine`, adversarial rows leave no trace
+    /// on the learner: a twin stream fed only the clean subset ends in
+    /// the same state — same labels for every subsequent arrival, same
+    /// reservoir occupancy, same drift accounting, same re-fit.
+    #[test]
+    fn refused_rows_leave_the_learner_bit_exact(
+        traffic in arbitrary_traffic(),
+        quarantine in 0u32..2,
+    ) {
+        let policy = if quarantine == 1 { UnseenPolicy::Quarantine } else { UnseenPolicy::Reject };
+        let mut dirty = stream(policy);
+        let mut clean = stream(policy);
+        for row in &traffic {
+            let outcome = dirty.try_absorb(row);
+            if classify(row) == Verdict::Clean {
+                let twin = clean.try_absorb(row).expect("clean row admits");
+                let Ok(Admission::Learned { labels, .. }) = outcome else {
+                    panic!("clean row refused: {outcome:?}");
+                };
+                let Admission::Learned { labels: twin_labels, .. } = twin else {
+                    panic!("clean twin quarantined");
+                };
+                prop_assert_eq!(labels, twin_labels);
+            }
+        }
+        prop_assert_eq!(dirty.n_seen(), clean.n_seen());
+        prop_assert_eq!(dirty.drift_ratio(), clean.drift_ratio());
+        prop_assert_eq!(
+            dirty.ingest_stats().admitted_rows,
+            clean.ingest_stats().admitted_rows
+        );
+        // Probe arrivals must route identically: the profiles and the
+        // reservoir RNG state of the two streams cannot have diverged.
+        for probe in 0..CARDINALITY {
+            let row = vec![probe; ARITY];
+            prop_assert_eq!(dirty.absorb(&row), clean.absorb(&row));
+        }
+        // And a re-fit over the (identical) reservoirs serves identically.
+        dirty.refit().expect("refit");
+        clean.refit().expect("refit");
+        for probe in 0..CARDINALITY {
+            let row = vec![probe; ARITY];
+            prop_assert_eq!(dirty.serve_one(&row), clean.serve_one(&row));
+        }
+    }
+
+    /// Clean traffic through the checked boundary is bit-identical to the
+    /// trusted fast path, for both learning and serving.
+    #[test]
+    fn checked_boundary_matches_fast_path_on_clean_input(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..CARDINALITY, ARITY), 1..40),
+        policy_pick in 0u32..3,
+    ) {
+        let policy = [UnseenPolicy::Reject, UnseenPolicy::AsMissing, UnseenPolicy::Quarantine]
+            [policy_pick as usize];
+        let mut checked = stream(policy);
+        let mut trusted = stream(policy);
+        for row in &rows {
+            prop_assert_eq!(checked.try_serve_one(row).unwrap(), trusted.serve_one(row));
+            let Admission::Learned { labels, coerced_values } =
+                checked.try_absorb(row).unwrap()
+            else {
+                panic!("clean row quarantined");
+            };
+            prop_assert_eq!(coerced_values, 0);
+            prop_assert_eq!(labels, trusted.absorb(row));
+        }
+        prop_assert_eq!(checked.drift_ratio(), trusted.drift_ratio());
+        prop_assert_eq!(checked.serving_health().state, trusted.serving_health().state);
+    }
+
+    /// `AsMissing` admission is exactly "mask the bad codes, then take
+    /// the trusted path": same labels as a twin absorbing the pre-masked
+    /// row.
+    #[test]
+    fn as_missing_coercion_matches_manual_masking(
+        traffic in arbitrary_traffic(),
+    ) {
+        let mut coercing = stream(UnseenPolicy::AsMissing);
+        let mut manual = stream(UnseenPolicy::AsMissing);
+        for row in &traffic {
+            if classify(row) == Verdict::WrongArity {
+                continue; // arity is never coerced
+            }
+            let masked: Vec<u32> = row
+                .iter()
+                .map(|&c| if c != MISSING && c >= CARDINALITY { MISSING } else { c })
+                .collect();
+            prop_assert_eq!(
+                coercing.try_serve_one(row).unwrap(),
+                manual.serve_one(&masked)
+            );
+            let Admission::Learned { labels, coerced_values } =
+                coercing.try_absorb(row).unwrap()
+            else {
+                panic!("admissible-arity row quarantined under AsMissing");
+            };
+            prop_assert_eq!(
+                coerced_values,
+                row.iter().filter(|&&c| c != MISSING && c >= CARDINALITY).count()
+            );
+            prop_assert_eq!(labels, manual.absorb(&masked));
+        }
+        prop_assert_eq!(coercing.n_seen(), manual.n_seen());
+    }
+
+    /// The quarantine buffer is bounded: it never exceeds its capacity,
+    /// keeps the newest rows, and the lifetime counter keeps counting.
+    #[test]
+    fn quarantine_is_bounded_and_keeps_newest(
+        n_bad in 1usize..64,
+        capacity in 1usize..8,
+    ) {
+        let mut stream = stream(UnseenPolicy::Quarantine).with_quarantine_capacity(capacity);
+        for i in 0..n_bad {
+            // Out-of-domain, tagged by index so eviction order is visible.
+            let row = vec![CARDINALITY + i as u32; ARITY];
+            prop_assert!(matches!(stream.try_absorb(&row), Ok(Admission::Quarantined)));
+        }
+        prop_assert_eq!(stream.quarantined().len(), n_bad.min(capacity));
+        prop_assert_eq!(stream.ingest_stats().quarantined_rows, n_bad as u64);
+        let held = stream.drain_quarantine();
+        // Oldest evicted first: the survivors are the most recent rows.
+        let first_kept = n_bad - n_bad.min(capacity);
+        for (slot, row) in held.iter().enumerate() {
+            prop_assert_eq!(row[0], CARDINALITY + (first_kept + slot) as u32);
+        }
+        prop_assert_eq!(stream.quarantined().len(), 0);
+    }
+}

@@ -20,7 +20,13 @@
 # (retry, quarantine, probabilistic chaos) on a small grid and fails on
 # panics, non-finite metrics, a chaos arm that never injects a failure,
 # a retry arm that diverges from the clean labels, or a quarantined fit
-# dropping more than 0.05 mean ACC below clean. The conformance steps
+# dropping more than 0.05 mean ACC below clean; its ingest axis
+# (DESIGN.md §11) replays seeded row corruption (arity truncation,
+# out-of-domain codes, MISSING flooding) through the streaming
+# `try_absorb` boundary under every UnseenPolicy and fails on panics,
+# on rejection/quarantine/coercion counters that never fire, or on a
+# replay whose admissions or health transitions are not bit-identical
+# per seed. The conformance steps
 # (DESIGN.md §10) replay seeded random tables through the
 # `mcdc-reference` oracle across the full execution grid
 # (`conformance --quick`) and check the deterministic work counters
