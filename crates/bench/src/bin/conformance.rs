@@ -246,8 +246,13 @@ fn gate_self_test(baselines: &[(String, GateCounters)], tolerance: f64) -> bool 
         eprintln!("gate: self-test needs a [serial-lazy] baseline");
         return false;
     };
-    let inflated =
-        measure_suite(&GateSuite { name: "serial-lazy", lazy: false, batch: 0, ingest: false });
+    let inflated = measure_suite(&GateSuite {
+        name: "serial-lazy",
+        lazy: false,
+        batch: 0,
+        cadence: 0,
+        ingest: false,
+    });
     match compare_counters(name, baseline, &inflated, tolerance) {
         Err(violations) => {
             println!(

@@ -28,8 +28,8 @@ use categorical_data::synth::GeneratorConfig;
 use categorical_data::{CategoricalTable, MISSING};
 use cluster_eval::accuracy;
 use mcdc_core::{
-    DeltaAverage, DeltaMomentum, ExecutionPlan, FaultPlan, Mcdc, McdcResult, Mgcpl, OverlapShards,
-    Rotate, StreamingMcdc, UnseenPolicy, WarmStart,
+    DeltaAverage, DeltaMomentum, ExecutionPlan, FaultPlan, Mcdc, McdcResult, MergeCadence, Mgcpl,
+    OverlapShards, Rotate, StreamingMcdc, UnseenPolicy, WarmStart,
 };
 use mcdc_reference::{
     distinct_labels, partition_entropy, reference_mcdc, ReferenceConfig, ReferenceMcdc,
@@ -119,15 +119,41 @@ pub struct GridCell {
     /// Lazy (candidate-pruned) scoring; replicated plans run eager
     /// regardless, so only serial cells vary it.
     pub lazy: bool,
+    /// Sub-pass merge cadence (`MergeCadence::every`); 0 keeps the
+    /// per-pass barrier. Ignored by serial plans.
+    pub cadence: usize,
 }
 
-/// The full `ExecutionPlan × Reconcile × Rotate × WarmStart × lazy` grid —
-/// every combination with distinct semantics, 13 cells.
+/// The full `ExecutionPlan × Reconcile × Rotate × WarmStart × lazy ×
+/// cadence` grid — every combination with distinct semantics, 17 cells.
+///
+/// The four cadence cells (DESIGN.md §12) probe the bounded-staleness
+/// slide: `m = 1` over a single full-batch shard is the staleness-free
+/// endpoint and therefore joins the **exact** tier — it must reproduce the
+/// serial oracle bit for bit — while intermediate m over real multi-shard
+/// plans genuinely reorders the cascade and is held to the bounded floor
+/// like every other replicated cell.
 pub fn grid() -> Vec<GridCell> {
     use PlanArm::*;
     use PolicyArm::*;
-    let cell =
-        |name, tier, plan, policy, warm, lazy| GridCell { name, tier, plan, policy, warm, lazy };
+    let cell = |name, tier, plan, policy, warm, lazy| GridCell {
+        name,
+        tier,
+        plan,
+        policy,
+        warm,
+        lazy,
+        cadence: 0,
+    };
+    let paced = |name, tier, plan, policy, warm, cadence| GridCell {
+        name,
+        tier,
+        plan,
+        policy,
+        warm,
+        lazy: false,
+        cadence,
+    };
     vec![
         cell("serial/cold/lazy", Tier::Exact, Serial, Average, WarmStart::Cold, true),
         cell("serial/cold/eager", Tier::Exact, Serial, Average, WarmStart::Cold, false),
@@ -162,6 +188,28 @@ pub fn grid() -> Vec<GridCell> {
             RotateAverage,
             WarmStart::Carry,
             false,
+        ),
+        // m = 1 over one full-batch shard: the serial cascade rebuilt
+        // through the replicated machinery, one merge per presentation.
+        paced("batch-full/cadence-1/cold", Tier::Exact, FullBatch, Average, WarmStart::Cold, 1),
+        // Intermediate staleness over real shards.
+        paced("batch/cadence-8/cold", Tier::Bounded, QuarterBatch, Average, WarmStart::Cold, 8),
+        paced(
+            "batch/cadence-1/momentum/carry",
+            Tier::Bounded,
+            QuarterBatch,
+            Momentum,
+            WarmStart::Carry,
+            1,
+        ),
+        // Cadence × rotation: the period ticks per mini-merge.
+        paced(
+            "sharded/cadence-8/rotate/cold",
+            Tier::Bounded,
+            Sharded3,
+            RotateAverage,
+            WarmStart::Cold,
+            8,
         ),
     ]
 }
@@ -269,6 +317,9 @@ pub fn run_cell(
             builder.reconcile(Rotate { period: 2, inner: DeltaMomentum { beta: 0.5 } })
         }
     };
+    if cell.cadence > 0 {
+        builder = builder.merge_cadence(MergeCadence::every(cell.cadence));
+    }
     builder.build().fit(table, k).expect("conformance tables are non-degenerate")
 }
 
@@ -557,6 +608,9 @@ pub struct GateSuite {
     pub lazy: bool,
     /// Mini-batch size; 0 = serial.
     pub batch: usize,
+    /// Sub-pass merge cadence (`MergeCadence::every`); 0 keeps the
+    /// per-pass barrier.
+    pub cadence: usize,
     /// Streaming-ingest suite: drives corrupted traffic through the
     /// `try_absorb` boundary instead of batch fits (DESIGN.md §11).
     pub ingest: bool,
@@ -569,14 +623,24 @@ const GATE_SEEDS: [u64; 3] = [11, 12, 13];
 
 /// The checked-in gate suites: the lazy serial hot path (the one the
 /// candidate-pruned kernel accelerates — `k₀ = 24` arms it), the eager
-/// serial baseline, the replicated merge path, and the streaming-ingest
-/// boundary under seeded row corruption.
+/// serial baseline, the replicated merge path at the per-pass barrier and
+/// at a fixed sub-pass cadence (`m = batch/4`, so `merges` must run at
+/// ≈ 4× the barrier suite per pass — the cadence growth law made a
+/// deterministic gate), and the streaming-ingest boundary under seeded
+/// row corruption.
 pub fn gate_suites() -> Vec<GateSuite> {
     vec![
-        GateSuite { name: "serial-lazy", lazy: true, batch: 0, ingest: false },
-        GateSuite { name: "serial-eager", lazy: false, batch: 0, ingest: false },
-        GateSuite { name: "replicated", lazy: false, batch: GATE_N / 4, ingest: false },
-        GateSuite { name: "streaming-ingest", lazy: false, batch: 0, ingest: true },
+        GateSuite { name: "serial-lazy", lazy: true, batch: 0, cadence: 0, ingest: false },
+        GateSuite { name: "serial-eager", lazy: false, batch: 0, cadence: 0, ingest: false },
+        GateSuite { name: "replicated", lazy: false, batch: GATE_N / 4, cadence: 0, ingest: false },
+        GateSuite {
+            name: "replicated-cadence",
+            lazy: false,
+            batch: GATE_N / 4,
+            cadence: GATE_N / 16,
+            ingest: false,
+        },
+        GateSuite { name: "streaming-ingest", lazy: false, batch: 0, cadence: 0, ingest: true },
     ]
 }
 
@@ -596,6 +660,9 @@ pub fn measure_suite(suite: &GateSuite) -> GateCounters {
         if suite.batch > 0 {
             builder =
                 builder.execution(ExecutionPlan::mini_batch(suite.batch)).reconcile(DeltaAverage);
+        }
+        if suite.cadence > 0 {
+            builder = builder.merge_cadence(MergeCadence::every(suite.cadence));
         }
         let result = builder.build().fit(data.table(), 3).expect("gate tables are well-formed");
         for stats in [&result.mgcpl().stats, result.came().stats()] {
@@ -788,15 +855,23 @@ mod tests {
     #[test]
     fn grid_covers_every_arm() {
         let cells = grid();
-        assert_eq!(cells.len(), 13);
+        assert_eq!(cells.len(), 17);
         assert!(cells.iter().any(|c| c.tier == Tier::Exact && c.lazy));
         assert!(cells.iter().any(|c| c.plan == PlanArm::Sharded3));
         assert!(cells.iter().any(|c| c.policy == PolicyArm::RotateMomentum));
         assert!(cells.iter().any(|c| c.warm == WarmStart::Carry && c.tier == Tier::Bounded));
+        // The cadence arm: the staleness-free m = 1 endpoint is held to the
+        // exact tier, intermediate m to the bounded tier, and at least one
+        // cadence cell composes with rotation.
+        assert!(cells
+            .iter()
+            .any(|c| c.cadence == 1 && c.plan == PlanArm::FullBatch && c.tier == Tier::Exact));
+        assert!(cells.iter().any(|c| c.cadence > 1 && c.tier == Tier::Bounded));
+        assert!(cells.iter().any(|c| c.cadence > 0 && c.policy == PolicyArm::RotateAverage));
         let mut names: Vec<&str> = cells.iter().map(|c| c.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 13, "cell names must be unique");
+        assert_eq!(names.len(), 17, "cell names must be unique");
     }
 
     #[test]

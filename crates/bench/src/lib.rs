@@ -11,7 +11,7 @@
 //!
 //! Each experiment has a dedicated binary (`table2`, `table3`, `table4`,
 //! `fig4_ablation`, `fig5_ktrace`, `fig6_scaling`, `dist_partition`); see
-//! `DESIGN.md` §12 for the experiment ↔ binary index.
+//! `DESIGN.md` §13 for the experiment ↔ binary index.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

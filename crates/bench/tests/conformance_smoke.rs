@@ -108,7 +108,7 @@ fn fuzz_tables_are_reproducible_from_the_seed() {
 fn gate_counters_are_deterministic() {
     let suites = gate_suites();
     assert!(suites.iter().any(|s| s.name == "serial-lazy"), "self-test anchor suite");
-    let suite = GateSuite { name: "serial-lazy", lazy: true, batch: 0, ingest: false };
+    let suite = GateSuite { name: "serial-lazy", lazy: true, batch: 0, cadence: 0, ingest: false };
     let first = measure_suite(&suite);
     let second = measure_suite(&suite);
     assert_eq!(first, second);

@@ -85,7 +85,7 @@ pub use came::{Came, CameBuilder, CameInit, CameResult};
 pub use competitive::{CompetitiveLearning, CompetitiveResult};
 pub use encoding::{encode_mgcpl, encode_partitions};
 pub use error::McdcError;
-pub use execution::{ExecutionPlan, WarmStart};
+pub use execution::{ExecutionPlan, MergeCadence, WarmStart};
 pub use fault::{DeltaFault, FaultPlan, IngestFault, ReplicaFault};
 pub use frozen::FrozenModel;
 pub use mgcpl::{Mgcpl, MgcplBuilder, MgcplResult};

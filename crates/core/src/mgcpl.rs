@@ -30,7 +30,7 @@ use crate::workspace::{
 };
 use crate::{
     score_all_transposed, ClusterProfile, DeltaAverage, ExecutionPlan, HotPathStats, LearningTrace,
-    McdcError, Reconcile, StageRecord, WarmStart,
+    McdcError, MergeCadence, Reconcile, StageRecord, WarmStart,
 };
 
 /// Configurable MGCPL learner. Construct via [`Mgcpl::builder`].
@@ -65,6 +65,7 @@ pub struct Mgcpl {
     reconcile: Arc<dyn Reconcile>,
     warm_start: WarmStart,
     fault: FaultPlan,
+    merge_cadence: MergeCadence,
 }
 
 // Policies compare by descriptor (name + parameters): two learners with the
@@ -84,6 +85,7 @@ impl PartialEq for Mgcpl {
             && self.reconcile.describe() == other.reconcile.describe()
             && self.warm_start == other.warm_start
             && self.fault == other.fault
+            && self.merge_cadence == other.merge_cadence
     }
 }
 
@@ -103,6 +105,7 @@ pub struct MgcplBuilder {
     reconcile: Arc<dyn Reconcile>,
     warm_start: WarmStart,
     fault: FaultPlan,
+    merge_cadence: MergeCadence,
 }
 
 impl PartialEq for MgcplBuilder {
@@ -119,6 +122,7 @@ impl PartialEq for MgcplBuilder {
             && self.reconcile.describe() == other.reconcile.describe()
             && self.warm_start == other.warm_start
             && self.fault == other.fault
+            && self.merge_cadence == other.merge_cadence
     }
 }
 
@@ -137,6 +141,7 @@ impl Default for MgcplBuilder {
             reconcile: Arc::new(DeltaAverage),
             warm_start: WarmStart::Cold,
             fault: FaultPlan::none(),
+            merge_cadence: MergeCadence::per_pass(),
         }
     }
 }
@@ -270,6 +275,31 @@ impl MgcplBuilder {
         self
     }
 
+    /// Sets how often a replicated plan's shards synchronize within a pass
+    /// (default [`MergeCadence::per_pass`], the historical once-per-pass
+    /// barrier, bit-exact with the pre-cadence engine). Sub-pass cadences
+    /// re-run the exact merge step every `m` presentations per replica so
+    /// later segments score against the blended consensus instead of the
+    /// stale pass-start snapshot; `m = 1` with a single shard reproduces
+    /// [`ExecutionPlan::Serial`] bit for bit. See [`MergeCadence`] and
+    /// DESIGN.md §12. No effect under serial plans.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mcdc_core::{ExecutionPlan, MergeCadence, Mgcpl};
+    ///
+    /// let learner = Mgcpl::builder()
+    ///     .execution(ExecutionPlan::mini_batch(128))
+    ///     .merge_cadence(MergeCadence::every(16))
+    ///     .build();
+    /// # let _ = learner;
+    /// ```
+    pub fn merge_cadence(mut self, cadence: MergeCadence) -> Self {
+        self.merge_cadence = cadence;
+        self
+    }
+
     /// Validates and builds the learner.
     ///
     /// # Panics
@@ -335,6 +365,7 @@ impl MgcplBuilder {
             reconcile: self.reconcile,
             warm_start: self.warm_start,
             fault: self.fault,
+            merge_cadence: self.merge_cadence,
         })
     }
 }
@@ -962,29 +993,62 @@ impl Mgcpl {
                     changed
                 }
                 Some(map) => {
-                    let changed = self.apply_replicated(
-                        table,
-                        order,
-                        clusters,
-                        assignment,
-                        one_minus_rho,
-                        prefactors,
-                        post_scale,
-                        *merge_steps,
-                        map,
-                        replicated,
-                        allocs,
-                        stats,
-                    );
-                    // Cross-pass replica rotation (DESIGN.md §6): between
-                    // merge steps -- never within one, so each pass's
-                    // profile merge stays exact -- a rotating policy shifts
-                    // the row -> replica map so no row stays with the same
-                    // cohort for the whole fit.
-                    *merge_steps += 1;
-                    let period = self.reconcile.rotation_period() as u64;
-                    if period > 0 && merge_steps.is_multiple_of(period) && map.rotate() {
-                        stats.rotations += 1;
+                    // Sub-pass merge cadence (DESIGN.md §12): slice the
+                    // pass's global shuffle into segments of ~`every`
+                    // presentations per replica and run the full merge step
+                    // at each boundary. The default cadence covers the pass
+                    // in one segment -- exactly the historical per-pass
+                    // barrier, same code path, same counters.
+                    let seg = self.merge_cadence.segment_rows(n, map.n_shards);
+                    let mut changed = false;
+                    let mut start = 0usize;
+                    while start < n {
+                        let end = (start + seg).min(n);
+                        changed |= self.apply_replicated(
+                            table,
+                            &order[start..end],
+                            clusters,
+                            assignment,
+                            one_minus_rho,
+                            prefactors,
+                            post_scale,
+                            *merge_steps,
+                            map,
+                            replicated,
+                            allocs,
+                            stats,
+                        );
+                        // Replica rotation (DESIGN.md §6): between merge
+                        // steps -- never within one, so each segment's
+                        // profile merge stays exact -- a rotating policy
+                        // shifts the row -> replica map so no row stays with
+                        // the same cohort for the whole fit. The period
+                        // counts *mini*-merges: under a sub-pass cadence a
+                        // rotating policy therefore rotates batch/m times
+                        // more often per pass, by design (see `Rotate`).
+                        *merge_steps += 1;
+                        let period = self.reconcile.rotation_period() as u64;
+                        if period > 0 && merge_steps.is_multiple_of(period) && map.rotate() {
+                            stats.rotations += 1;
+                        }
+                        start = end;
+                        if start < n {
+                            // Re-snapshot against the blended consensus so
+                            // the next segment competes on fresh state: the
+                            // prefactors re-derive from the merged δ (the
+                            // same pure function the serial cascade applies
+                            // inline) and the value-major matrix rebuilds
+                            // from the merged profiles under the
+                            // pass-frozen ω. Pass-scoped state -- win
+                            // counters, 1−ρ, pruning, ω -- stays untouched,
+                            // exactly as in the serial pass.
+                            for (pf, (&m, &dl)) in
+                                prefactors.iter_mut().zip(one_minus_rho.iter().zip(&clusters.delta))
+                            {
+                                *pf = m * sigmoid_weight(dl);
+                            }
+                            clusters.rebuild_value_major(self.weighted_similarity);
+                        }
                     }
                     changed
                 }
@@ -1264,20 +1328,25 @@ impl Mgcpl {
         changed
     }
 
-    /// Replica-merge apply phase: one [`apply_span`](Self::apply_span) per
-    /// shard against a frozen clone of the pass-start cohort, rayon-parallel
-    /// across shards, reconciled into `clusters` under the configured
-    /// [`Reconcile`] policy (DESIGN.md §5):
+    /// Replica-merge apply phase — one *merge step*: one
+    /// [`apply_span`](Self::apply_span) per shard against a frozen clone of
+    /// the segment-start cohort, rayon-parallel across shards, reconciled
+    /// into `clusters` under the configured [`Reconcile`] policy
+    /// (DESIGN.md §5). `order` is the segment of the pass's global shuffle
+    /// this step presents — the whole pass under the default per-pass
+    /// [`MergeCadence`], a sub-pass slice otherwise (DESIGN.md §12):
     ///
-    /// * **spans** — each replica presents its owned rows plus, when the
-    ///   policy declares a halo, the boundary rows borrowed from adjacent
-    ///   shards ([`ExecutionPlan::shard_map`] materializes the geometry);
+    /// * **spans** — each replica presents its owned segment rows plus,
+    ///   when the policy declares a halo, the boundary rows borrowed from
+    ///   adjacent shards ([`ExecutionPlan::shard_map`] materializes the
+    ///   geometry);
     /// * **memberships** — rows presented once take their replica's verdict
     ///   directly; rows presented on several replicas settle by the
     ///   policy's [`resolve`](Reconcile::resolve) vote over the replicas'
     ///   `(winner, similarity)` verdicts;
     /// * **profiles** — per-cluster profiles are rebuilt over each shard's
-    ///   *owned* rows from the final (post-vote) memberships, then merged
+    ///   *owned* rows from the settled memberships (the full assignment,
+    ///   so sub-pass merges keep rows outside the segment), then merged
     ///   via [`ClusterProfile::merge`]. Every row is owned by exactly one
     ///   shard whatever the halo, so the merged integer counts stay exact;
     /// * **δ** — span-size-weighted average of the replica accumulators,
@@ -1324,7 +1393,13 @@ impl Mgcpl {
         stats: &mut HotPathStats,
     ) -> bool {
         let k = clusters.len();
-        let n = order.len();
+        // `order` is one segment of the pass's global shuffle — the whole
+        // pass under the default per-pass cadence, a sub-pass slice under
+        // `MergeCadence { every: m }`. Verdicts, the orphan fallback, and
+        // win counts touch only the presented rows; the profile merge
+        // covers every settled membership so the merged cohort is always
+        // the full-table consensus.
+        let n_rows = assignment.len();
         let overlap = map.has_overlap();
 
         // One persistent slot per shard: each holds the replica's cohort
@@ -1461,7 +1536,7 @@ impl Mgcpl {
         // row was presented once, the policy's vote otherwise. Vote buffers
         // are indexed by the shard map's dense halo slots, so their size
         // tracks the overlap (≤ 2·halo·(shards−1) rows), not n.
-        resize_tracked(&mut rep.final_of, n, usize::MAX, allocs);
+        resize_tracked(&mut rep.final_of, n_rows, usize::MAX, allocs);
         rep.final_of.fill(usize::MAX);
         if overlap {
             if rep.votes.len() < map.halo_rows.len() {
@@ -1524,7 +1599,7 @@ impl Mgcpl {
             let permille = ((map.n_shards - quarantined) as u64 * 1000) / map.n_shards as u64;
             stats.min_survivor_permille = stats.min_survivor_permille.min(permille);
             resize_tracked(&mut rep.fallback_accumulators, k, 0.0, allocs);
-            for i in 0..n {
+            for &i in order {
                 if rep.final_of[i] == usize::MAX {
                     rep.final_of[i] = match assignment[i] {
                         Some(c) => c,
@@ -1545,10 +1620,13 @@ impl Mgcpl {
             }
         }
 
-        // Write back memberships; wins count each row's final verdict once.
+        // Write back memberships for the presented rows; wins count each
+        // row's final verdict once per presentation, matching the serial
+        // cascade's one-increment-per-presentation accounting.
         let mut changed = false;
-        for (i, slot) in assignment.iter_mut().enumerate() {
+        for &i in order {
             let c = rep.final_of[i];
+            let slot = &mut assignment[i];
             if *slot != Some(c) {
                 changed = true;
             }
@@ -1556,11 +1634,17 @@ impl Mgcpl {
             clusters.wins_now[c] += 1;
         }
 
-        // Exact profile merge from the final memberships, grouped by owning
-        // shard (bulk deferred-rescale builds into the slots' persistent
-        // profile buffers, parallel across shards).
+        // Exact profile merge from the settled memberships, grouped by
+        // owning shard (bulk deferred-rescale builds into the slots'
+        // persistent profile buffers, parallel across shards). Grouping
+        // walks the full assignment — not just this segment's rows — so a
+        // sub-pass merge still rebuilds the complete consensus profiles
+        // (rows outside the segment keep their standing membership), and a
+        // mid-pass rotation regroups by the *current* ownership. Profile
+        // state is a pure function of the member multiset, so the walk
+        // order is immaterial and the per-pass barrier stays bit-exact.
         let layout = &clusters.layout;
-        let final_of: &[usize] = &rep.final_of;
+        let settled: &[Option<usize>] = assignment;
         let mut slots: Vec<ReplicaSlot> = slots
             .into_par_iter()
             .map(|mut slot| {
@@ -1571,9 +1655,11 @@ impl Mgcpl {
                 for members in slot.members[..k].iter_mut() {
                     members.clear();
                 }
-                for &i in &slot.rows {
+                for (i, &label) in settled.iter().enumerate() {
                     if map.shard_of[i] as usize == slot.index {
-                        slot.members[final_of[i]].push(i);
+                        if let Some(c) = label {
+                            slot.members[c].push(i);
+                        }
                     }
                 }
                 // Per-cluster profiles over the owned rows: reset-and-refill

@@ -6,8 +6,8 @@ use std::sync::Arc;
 use categorical_data::CategoricalTable;
 
 use crate::{
-    encode_mgcpl, Came, CameInit, CameResult, ExecutionPlan, FaultPlan, McdcError, Mgcpl,
-    MgcplResult, Reconcile, WarmStart, Workspace,
+    encode_mgcpl, Came, CameInit, CameResult, ExecutionPlan, FaultPlan, McdcError, MergeCadence,
+    Mgcpl, MgcplResult, Reconcile, WarmStart, Workspace,
 };
 
 /// The full MCDC clusterer. Construct via [`Mcdc::builder`].
@@ -47,6 +47,7 @@ pub struct McdcBuilder {
     lazy_scoring: Option<bool>,
     warm_start: Option<WarmStart>,
     fault_plan: Option<FaultPlan>,
+    merge_cadence: Option<MergeCadence>,
     seed: u64,
 }
 
@@ -65,6 +66,7 @@ impl PartialEq for McdcBuilder {
             && self.lazy_scoring == other.lazy_scoring
             && self.warm_start == other.warm_start
             && self.fault_plan == other.fault_plan
+            && self.merge_cadence == other.merge_cadence
             && self.seed == other.seed
     }
 }
@@ -187,6 +189,35 @@ impl McdcBuilder {
         self
     }
 
+    /// Sets how often the MGCPL stage's shard replicas synchronize within
+    /// a pass (default [`MergeCadence::per_pass`], the historical
+    /// once-per-pass barrier — bit-exact with the pre-cadence engine).
+    /// `MergeCadence { every: m }` runs the exact merge step every `m`
+    /// presentations per replica, parameter-server-style bounded staleness
+    /// that slides between the barrier (`m ≥ batch`) and the serial
+    /// cascade (`m = 1`, bit-exact with serial at a single shard). CAME is
+    /// unaffected — its parallel paths are exact reductions with nothing
+    /// to go stale. See [`MergeCadence`] and `DESIGN.md` §12 for the
+    /// measured quality/throughput frontier.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mcdc_core::{DeltaMomentum, ExecutionPlan, Mcdc, MergeCadence};
+    ///
+    /// // A sharded deployment buying back quality with sub-pass merges.
+    /// let mcdc = Mcdc::builder()
+    ///     .execution(ExecutionPlan::mini_batch(256))
+    ///     .reconcile(DeltaMomentum { beta: 0.5 })
+    ///     .merge_cadence(MergeCadence::every(32))
+    ///     .build();
+    /// # let _ = mcdc;
+    /// ```
+    pub fn merge_cadence(mut self, cadence: MergeCadence) -> Self {
+        self.merge_cadence = Some(cadence);
+        self
+    }
+
     /// Seeds all randomized choices.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -247,6 +278,9 @@ impl McdcBuilder {
         }
         if let Some(plan) = self.fault_plan {
             mgcpl = mgcpl.fault_plan(plan);
+        }
+        if let Some(cadence) = self.merge_cadence {
+            mgcpl = mgcpl.merge_cadence(cadence);
         }
         Ok(Mcdc { mgcpl: mgcpl.try_build()?, came: came.build() })
     }

@@ -142,6 +142,13 @@ pub trait Reconcile: fmt::Debug + Send + Sync {
     /// round-robin) are merely relabeled, see the [`Rotate`] caveat. `0`
     /// (the default) never rotates; serial plans have no map to rotate and
     /// ignore the period entirely.
+    ///
+    /// A "merge step" is one reconciliation, *not* one pass: under the
+    /// default per-pass [`MergeCadence`](crate::MergeCadence) the two
+    /// coincide, but a sub-pass cadence runs ⌈batch/m⌉ merge steps per
+    /// pass and the period counts each *mini*-merge — a rotating policy
+    /// therefore rotates proportionally more often per pass, by design
+    /// (pinned by `crates/core/tests/merge_cadence.rs`).
     fn rotation_period(&self) -> usize {
         0
     }
@@ -310,7 +317,14 @@ impl Reconcile for OverlapShards {
 /// `period = 0` never rotates and is bit-exact with the bare inner policy
 /// (pinned by `crates/core/tests/quality_recovery.rs`); `period = 1`
 /// rotates after every merge step. Rotation changes which replica *owns*
-/// each row between passes, never within one, so profile merges stay exact.
+/// each row between merge steps, never within one, so profile merges stay
+/// exact. The period counts merge steps, not passes: under a sub-pass
+/// [`MergeCadence`](crate::MergeCadence) each of a pass's ⌈batch/m⌉
+/// *mini*-merges ticks the period, so a rotating policy rotates
+/// proportionally more often per pass — deliberate (fresher regrouping is
+/// exactly what a finer cadence buys), not a silent multiply; the
+/// interaction is pinned by `crates/core/tests/merge_cadence.rs` and
+/// documented in DESIGN.md §12.
 ///
 /// One honest caveat: the permutation is a cyclic shift, so an explicit
 /// [`Sharded`](crate::ExecutionPlan::Sharded) partition that is itself
